@@ -1,0 +1,74 @@
+// Command figures regenerates the evaluation figures of the paper (§VII):
+// Figure 7 (bandwidth usage), Figure 8 (query time breakdown), Figure 9
+// (execution time), Figures 10/11 (projection precision and time).
+//
+// Usage:
+//
+//	figures [-fig all|7|8|9|10] [-size bytes] [-steps n]
+//
+// -size sets the largest combined document size of the sweep (default 2 MiB;
+// the paper used 320 MB on a cluster — larger sizes just take longer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distxq/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11)")
+	size := flag.Int64("size", 1<<21, "largest combined document size in bytes")
+	steps := flag.Int("steps", 5, "number of sizes in the sweep (halving per step)")
+	flag.Parse()
+
+	var sizes []int64
+	for s, i := *size, 0; i < *steps && s >= 1<<14; i, s = i+1, s/2 {
+		sizes = append([]int64{s}, sizes...)
+	}
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	run("7", func() error {
+		sweep, err := bench.Fig7Bandwidth(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(os.Stdout, sweep)
+		return nil
+	})
+	run("8", func() error {
+		rows, err := bench.Fig8Breakdown(*size)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig8(os.Stdout, rows)
+		return nil
+	})
+	run("9", func() error {
+		sweep, err := bench.Fig9ExecTime(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig9(os.Stdout, sweep)
+		return nil
+	})
+	run("10", func() error {
+		rows, err := bench.Fig10and11Projection(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig10and11(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,45 @@
+// Command xmarkgen writes the XMark-style benchmark documents used by the
+// evaluation: xmk.xml (site/people + regions) and xmk.auctions.xml
+// (site/open_auctions).
+//
+// Usage:
+//
+//	xmarkgen [-out dir] [-size bytes] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"distxq/internal/xdm"
+	"distxq/internal/xmark"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	size := flag.Int64("size", 1<<20, "combined target size in bytes")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	cfg := xmark.ForSize(*size)
+	cfg.Seed = *seed
+	write := func(name string, d *xdm.Document) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := xdm.Serialize(f, d.Root); err != nil {
+			fmt.Fprintf(os.Stderr, "xmarkgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d persons, %d auctions, %d items)\n",
+			path, cfg.Persons, cfg.Auctions, cfg.Items)
+	}
+	write("xmk.xml", xmark.PeopleDocument(cfg, "xmk.xml"))
+	write("xmk.auctions.xml", xmark.AuctionsDocument(cfg, "xmk.auctions.xml"))
+}

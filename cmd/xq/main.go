@@ -1,0 +1,113 @@
+// Command xq evaluates a distributed XQuery query against an in-process
+// federation, or explains how it would be decomposed.
+//
+// Usage:
+//
+//	xq [-strategy by-projection] [-doc peer/name=path]... [-explain] 'query'
+//	echo 'query' | xq -doc A/students.xml=./students.xml
+//
+// Documents register as xrpc://peer/name; the query runs at a local
+// originator peer under the chosen strategy and the tool prints the result
+// plus the transfer report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"distxq"
+)
+
+type docFlags []string
+
+func (d *docFlags) String() string     { return strings.Join(*d, ",") }
+func (d *docFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	strategy := flag.String("strategy", "by-projection",
+		"data-shipping | by-value | by-fragment | by-projection")
+	explain := flag.Bool("explain", false, "print the decomposed query instead of executing")
+	var docs docFlags
+	flag.Var(&docs, "doc", "peer/name=path of a document (repeatable)")
+	flag.Parse()
+
+	var src string
+	if flag.NArg() > 0 {
+		src = strings.Join(flag.Args(), " ")
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	}
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fail(err)
+	}
+	if *explain {
+		out, err := distxq.ExplainDecomposition(src, strat)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	net := distxq.NewNetwork()
+	peers := map[string]*distxq.Peer{}
+	for _, spec := range docs {
+		target, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("want peer/name=path, got %q", spec))
+		}
+		peerName, docName, ok := strings.Cut(target, "/")
+		if !ok {
+			fail(fmt.Errorf("want peer/name=path, got %q", spec))
+		}
+		p := peers[peerName]
+		if p == nil {
+			p = net.AddPeer(peerName)
+			peers[peerName] = p
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := p.LoadXML(docName, string(data)); err != nil {
+			fail(err)
+		}
+	}
+	local := net.AddPeer("local")
+	sess := net.NewSession(local, strat)
+	res, rep, err := sess.Query(src)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(distxq.Serialize(res))
+	fmt.Fprintf(os.Stderr, "-- %s: %d B documents + %d B messages in %d exchanges\n",
+		strat, rep.DocBytes, rep.MsgBytes, rep.Requests)
+}
+
+func parseStrategy(s string) (distxq.Strategy, error) {
+	switch s {
+	case "data-shipping":
+		return distxq.DataShipping, nil
+	case "by-value", "pass-by-value":
+		return distxq.ByValue, nil
+	case "by-fragment", "pass-by-fragment":
+		return distxq.ByFragment, nil
+	case "by-projection", "pass-by-projection":
+		return distxq.ByProjection, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "xq: %v\n", err)
+	os.Exit(1)
+}

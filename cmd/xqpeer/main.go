@@ -1,0 +1,75 @@
+// Command xqpeer runs an XRPC peer daemon: an XQuery engine serving its
+// local documents over HTTP POST /xrpc, the wire protocol of the paper.
+//
+// Usage:
+//
+//	xqpeer -listen :8080 -doc depts.xml=./data/depts.xml -doc people=./p.xml
+//
+// Other peers (or cmd/xq) can then decompose queries referencing
+// doc("xrpc://host:8080/depts.xml") to this peer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"distxq/internal/eval"
+	"distxq/internal/xdm"
+	"distxq/internal/xrpc"
+)
+
+type docFlags map[string]string
+
+func (d docFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+func (d docFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	d[name] = path
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	docs := docFlags{}
+	flag.Var(docs, "doc", "name=path of a document to serve (repeatable)")
+	flag.Parse()
+
+	store := map[string]*xdm.Document{}
+	for name, path := range docs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xqpeer: %v\n", err)
+			os.Exit(1)
+		}
+		d, err := xdm.ParseString(string(data), name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xqpeer: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		store[name] = d
+		fmt.Printf("serving %s (%d bytes)\n", name, len(data))
+	}
+	engine := eval.NewEngine(eval.ResolverFunc(func(uri string) (*xdm.Document, error) {
+		// Accept both plain names and xrpc://self/name forms.
+		name := uri
+		if i := strings.LastIndexByte(uri, '/'); strings.HasPrefix(uri, "xrpc://") && i >= 0 {
+			name = uri[i+1:]
+		}
+		if d, ok := store[name]; ok {
+			return d, nil
+		}
+		return nil, fmt.Errorf("no such document %q", uri)
+	}))
+	srv := &xrpc.Server{Engine: engine}
+	http.Handle("/xrpc", xrpc.NewHTTPHandler(srv))
+	fmt.Printf("xqpeer listening on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "xqpeer: %v\n", err)
+		os.Exit(1)
+	}
+}

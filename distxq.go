@@ -1,0 +1,138 @@
+// Package distxq is a from-scratch Go implementation of "Efficient
+// Distribution of Full-Fledged XQuery" (Zhang, Tang, Boncz — ICDE 2009): an
+// XQuery engine with automatic query decomposition over XRPC function
+// shipping, under pass-by-value, pass-by-fragment, and pass-by-projection
+// parameter-passing semantics.
+//
+// The public API is a thin facade over the internal packages. A typical use:
+//
+//	net := distxq.NewNetwork()
+//	a := net.AddPeer("a.example.org")
+//	_ = a.LoadXML("depts.xml", `<depts><dept name="hr"/></depts>`)
+//	local := net.AddPeer("local")
+//	sess := net.NewSession(local, distxq.ByProjection)
+//	res, report, err := sess.Query(
+//	    `doc("xrpc://a.example.org/depts.xml")//dept/@name`)
+//
+// Sessions decompose each query per the paper's dependency-graph analysis,
+// execute the remote parts on the owning peers over XRPC, and report the
+// bandwidth/time metrics the paper's evaluation uses. See DESIGN.md for the
+// architecture and EXPERIMENTS.md for the reproduced figures.
+package distxq
+
+import (
+	"distxq/internal/core"
+	"distxq/internal/eval"
+	"distxq/internal/peer"
+	"distxq/internal/xdm"
+	"distxq/internal/xmark"
+	"distxq/internal/xq"
+)
+
+// Strategy selects how queries over remote documents execute.
+type Strategy = core.Strategy
+
+// The four execution strategies of the paper's evaluation.
+const (
+	// DataShipping fetches whole remote documents (the W3C fn:doc model).
+	DataShipping = core.DataShipping
+	// ByValue ships function parameters/results as deep copies (§II).
+	ByValue = core.ByValue
+	// ByFragment groups shipped nodes in fragments, preserving identity,
+	// order and ancestor relationships within a message (§V).
+	ByFragment = core.ByFragment
+	// ByProjection additionally prunes messages with runtime XML
+	// projection, enabling reverse axes and root()/id() on shipped nodes
+	// (§VI).
+	ByProjection = core.ByProjection
+)
+
+// Network is a federation of XQuery peers (type alias into the engine).
+type Network = peer.Network
+
+// Peer is one XQuery engine hosting documents behind an XRPC endpoint.
+type Peer = peer.Peer
+
+// Session executes queries from an originating peer under one strategy.
+type Session = peer.Session
+
+// Report carries per-query bandwidth and phase-time measurements.
+type Report = peer.Report
+
+// Sequence is an XQuery result sequence.
+type Sequence = xdm.Sequence
+
+// Item is one member of a result sequence: *Node or Atomic.
+type Item = xdm.Item
+
+// Node is an XML node with stable identity and document order.
+type Node = xdm.Node
+
+// Atomic is an atomic XQuery value.
+type Atomic = xdm.Atomic
+
+// NewNetwork creates an empty federation with an in-process transport and
+// the paper's 1 Gb/s LAN cost model.
+func NewNetwork() *Network { return peer.NewNetwork() }
+
+// Serialize renders a result sequence as text: nodes as XML, atomics via
+// their lexical form, space separated.
+func Serialize(s Sequence) string {
+	out := ""
+	for i, it := range s {
+		if i > 0 {
+			out += " "
+		}
+		switch v := it.(type) {
+		case *xdm.Node:
+			out += xdm.SerializeString(v)
+		case xdm.Atomic:
+			out += v.ItemString()
+		}
+	}
+	return out
+}
+
+// ParseQuery parses XQuery source text without executing it.
+func ParseQuery(src string) error {
+	_, err := xq.ParseQuery(src)
+	return err
+}
+
+// ExplainDecomposition parses and decomposes a query under the strategy and
+// returns the rewritten query text with `execute at` annotations — useful to
+// inspect what would run where.
+func ExplainDecomposition(src string, strat Strategy) (string, error) {
+	q, err := xq.ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := core.Decompose(q, strat, core.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	return xq.PrintQuery(plan.Query), nil
+}
+
+// LocalEngine returns a standalone (non-distributed) XQuery engine over an
+// in-memory map of URI → XML text, for quick local evaluation.
+func LocalEngine(docs map[string]string) *eval.Engine {
+	return eval.NewEngine(eval.ResolverFunc(func(uri string) (*xdm.Document, error) {
+		return xdm.ParseString(docs[uri], uri)
+	}))
+}
+
+// XMarkConfig configures the XMark-style data generator.
+type XMarkConfig = xmark.Config
+
+// XMarkPeople generates the site/people benchmark document.
+func XMarkPeople(c XMarkConfig, uri string) *xdm.Document { return xmark.PeopleDocument(c, uri) }
+
+// XMarkAuctions generates the site/open_auctions benchmark document.
+func XMarkAuctions(c XMarkConfig, uri string) *xdm.Document { return xmark.AuctionsDocument(c, uri) }
+
+// XMarkDefaultConfig returns the default generator configuration.
+func XMarkDefaultConfig() XMarkConfig { return xmark.DefaultConfig() }
+
+// BenchmarkQuery returns the §VII evaluation query over two peers.
+func BenchmarkQuery(peer1, peer2 string) string { return xmark.BenchmarkQuery(peer1, peer2) }

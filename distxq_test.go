@@ -1,0 +1,98 @@
+package distxq_test
+
+import (
+	"strings"
+	"testing"
+
+	"distxq"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	net := distxq.NewNetwork()
+	remote := net.AddPeer("example.org")
+	if err := remote.LoadXML("depts.xml",
+		`<depts><dept name="hr"/><dept name="it"/></depts>`); err != nil {
+		t.Fatal(err)
+	}
+	local := net.AddPeer("local")
+	for _, strat := range []distxq.Strategy{
+		distxq.DataShipping, distxq.ByValue, distxq.ByFragment, distxq.ByProjection,
+	} {
+		sess := net.NewSession(local, strat)
+		res, rep, err := sess.Query(`doc("xrpc://example.org/depts.xml")//dept/@name`)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if got := distxq.Serialize(res); got != `name="hr" name="it"` {
+			t.Errorf("%v: result = %s", strat, got)
+		}
+		if rep.TotalBytes() == 0 {
+			t.Errorf("%v: nothing transferred?", strat)
+		}
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	out, err := distxq.ExplainDecomposition(
+		`doc("xrpc://a/d.xml")//x`, distxq.ByFragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `execute at {"a"}`) {
+		t.Errorf("explain output lacks execute at: %s", out)
+	}
+	if _, err := distxq.ExplainDecomposition(`((`, distxq.ByFragment); err == nil {
+		t.Error("syntax errors must surface")
+	}
+}
+
+func TestFacadeParseQuery(t *testing.T) {
+	if err := distxq.ParseQuery(`1 + 1`); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := distxq.ParseQuery(`for $x return`); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestFacadeLocalEngine(t *testing.T) {
+	eng := distxq.LocalEngine(map[string]string{"d.xml": `<r><v>42</v></r>`})
+	res, err := eng.QueryString(`doc("d.xml")//v/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distxq.Serialize(res) != "42" {
+		t.Errorf("local engine = %s", distxq.Serialize(res))
+	}
+}
+
+func TestFacadeXMarkHelpers(t *testing.T) {
+	cfg := distxq.XMarkDefaultConfig()
+	cfg.Persons, cfg.Auctions, cfg.Items = 5, 5, 2
+	people := distxq.XMarkPeople(cfg, "p")
+	auctions := distxq.XMarkAuctions(cfg, "a")
+	if people.DocElem() == nil || auctions.DocElem() == nil {
+		t.Fatal("generated documents must have document elements")
+	}
+	q := distxq.BenchmarkQuery("x", "y")
+	if err := distxq.ParseQuery(q); err != nil {
+		t.Errorf("benchmark query must parse: %v", err)
+	}
+}
+
+// TestREADMEExample keeps the README snippet honest.
+func TestREADMEExample(t *testing.T) {
+	net := distxq.NewNetwork()
+	remote := net.AddPeer("example.org")
+	_ = remote.LoadXML("depts.xml", `<depts><dept name="hr"/><dept name="it"/></depts>`)
+	local := net.AddPeer("local")
+
+	sess := net.NewSession(local, distxq.ByProjection)
+	res, report, err := sess.Query(`doc("xrpc://example.org/depts.xml")//dept/@name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || report == nil {
+		t.Errorf("res=%v report=%v", res, report)
+	}
+}

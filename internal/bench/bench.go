@@ -1,0 +1,286 @@
+// Package bench regenerates the evaluation of §VII: Figure 7 (bandwidth
+// usage), Figure 8 (query time breakdown), Figure 9 (execution time
+// scaling), and Figures 10/11 (runtime vs. compile-time projection precision
+// and time). Each experiment returns structured rows that cmd/figures prints
+// and bench_test.go drives under testing.B.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"distxq/internal/core"
+	"distxq/internal/peer"
+	"distxq/internal/projection"
+	"distxq/internal/xdm"
+	"distxq/internal/xmark"
+	"distxq/internal/xq"
+)
+
+// Strategies lists the four §VII strategies in presentation order.
+var Strategies = []core.Strategy{
+	core.DataShipping, core.ByValue, core.ByFragment, core.ByProjection,
+}
+
+// Fixture is a ready-to-query federation for one document scale.
+type Fixture struct {
+	Net        *peer.Network
+	Local      *Peer
+	TotalBytes int64
+	Query      string
+}
+
+// Peer aliases peer.Peer for the harness API.
+type Peer = peer.Peer
+
+// NewFixture builds the three-peer XMark federation at roughly the given
+// combined document size (the x-axis of Figures 7 and 9).
+func NewFixture(totalBytes int64) *Fixture {
+	cfg := xmark.ForSize(totalBytes)
+	n := peer.NewNetwork()
+	p1 := n.AddPeer("peer1")
+	p2 := n.AddPeer("peer2")
+	local := n.AddPeer("local")
+	p1.AddDoc("xmk.xml", xmark.PeopleDocument(cfg, "xrpc://peer1/xmk.xml"))
+	p2.AddDoc("xmk.auctions.xml", xmark.AuctionsDocument(cfg, "xrpc://peer2/xmk.auctions.xml"))
+	return &Fixture{
+		Net:        n,
+		Local:      local,
+		TotalBytes: p1.DocSize("xmk.xml") + p2.DocSize("xmk.auctions.xml"),
+		Query:      xmark.BenchmarkQuery("peer1", "peer2"),
+	}
+}
+
+// Run executes the benchmark query once under the strategy.
+func (f *Fixture) Run(strat core.Strategy) (*peer.Report, error) {
+	sess := f.Net.NewSession(f.Local, strat)
+	_, rep, err := sess.Query(f.Query)
+	return rep, err
+}
+
+// Row is one measurement of the Figure 7/8/9 experiments.
+type Row struct {
+	Strategy   core.Strategy
+	DocsBytes  int64 // total size of source documents (x-axis)
+	TotalBytes int64 // documents + messages transferred (Fig 7 y-axis)
+	Report     *peer.Report
+}
+
+// DefaultSizes is the document-size sweep (combined bytes of both docs). The
+// paper sweeps 20–320 MB on a cluster; the default here is laptop-scale with
+// the same 2× progression; pass larger values to cmd/figures to scale up.
+var DefaultSizes = []int64{1 << 17, 1 << 18, 1 << 19, 1 << 20, 1 << 21}
+
+// Fig7Bandwidth measures total transferred data per strategy and size.
+func Fig7Bandwidth(sizes []int64) ([][]Row, error) {
+	var out [][]Row
+	for _, size := range sizes {
+		f := NewFixture(size)
+		var rows []Row
+		for _, s := range Strategies {
+			rep, err := f.Run(s)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s@%d: %w", s, size, err)
+			}
+			rows = append(rows, Row{Strategy: s, DocsBytes: f.TotalBytes,
+				TotalBytes: rep.TotalBytes(), Report: rep})
+		}
+		out = append(out, rows)
+	}
+	return out, nil
+}
+
+// Fig8Breakdown measures the per-phase time breakdown at the largest size.
+func Fig8Breakdown(size int64) ([]Row, error) {
+	f := NewFixture(size)
+	var rows []Row
+	for _, s := range Strategies {
+		rep, err := f.Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", s, err)
+		}
+		rows = append(rows, Row{Strategy: s, DocsBytes: f.TotalBytes,
+			TotalBytes: rep.TotalBytes(), Report: rep})
+	}
+	return rows, nil
+}
+
+// Fig9ExecTime reuses the Figure 7 sweep, reporting simulated total time.
+func Fig9ExecTime(sizes []int64) ([][]Row, error) { return Fig7Bandwidth(sizes) }
+
+// ProjRow is one measurement of the Figure 10/11 experiment.
+type ProjRow struct {
+	DocBytes        int64
+	CompileTimeSize int64 // projected document size, compile-time technique
+	RuntimeSize     int64 // projected document size, runtime technique
+	CompileTimeNS   int64
+	RuntimeNS       int64
+}
+
+// Fig10and11Projection compares compile-time against runtime projection on
+// the people document: the query selects persons with age > 45, a predicate
+// only the runtime technique can exploit (§VII "runtime projection
+// precision").
+func Fig10and11Projection(sizes []int64) ([]ProjRow, error) {
+	var out []ProjRow
+	for _, size := range sizes {
+		cfg := xmark.ForSize(size * 2) // people doc is half the fixture
+		doc := xmark.PeopleDocument(cfg, "xmk.xml")
+
+		// Compile-time: absolute paths from the analysis — all persons and
+		// their ages, descriptions included (no predicates expressible).
+		personPath, err := projection.ParsePath(
+			`child::site/child::people/child::person/descendant-or-self::node()`)
+		if err != nil {
+			return nil, err
+		}
+		agePath, err := projection.ParsePath(
+			`child::site/child::people/child::person/descendant::age/descendant-or-self::node()`)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		ct, err := projection.CompileTimeProject(
+			projection.PathSet{agePath}, projection.PathSet{personPath}, doc,
+			projection.Options{KeepAllAttributes: true})
+		if err != nil {
+			return nil, err
+		}
+		ctNS := time.Since(t0).Nanoseconds()
+
+		// Runtime: the materialized context sequence is the already-filtered
+		// person set (age > 45); only those ship.
+		t1 := time.Now()
+		var selected []*xdm.Node
+		doc.Root.WalkDescendants(func(n *xdm.Node) bool {
+			if n.Kind == xdm.ElementNode && n.Name == "person" {
+				for _, age := range ageOf(n) {
+					if age > 45 {
+						selected = append(selected, n)
+					}
+				}
+				return true
+			}
+			return true
+		})
+		self := projection.PathSet{}.Add(projection.Path{Steps: []projection.PStep{{
+			Axis: xq.AxisDescendantOrSelf, Test: xq.NodeTest{Kind: xq.TestAnyNode}}}})
+		rt, err := projection.RuntimeProject(selected, nil, self, doc,
+			projection.Options{KeepAllAttributes: true})
+		if err != nil {
+			return nil, err
+		}
+		rtNS := time.Since(t1).Nanoseconds()
+
+		out = append(out, ProjRow{
+			DocBytes:        xdm.SerializedSize(doc.Root),
+			CompileTimeSize: xdm.SerializedSize(ct.Root),
+			RuntimeSize:     xdm.SerializedSize(rt.Root),
+			CompileTimeNS:   ctNS,
+			RuntimeNS:       rtNS,
+		})
+	}
+	return out, nil
+}
+
+func ageOf(person *xdm.Node) []int {
+	var out []int
+	person.WalkDescendants(func(m *xdm.Node) bool {
+		if m.Kind == xdm.ElementNode && m.Name == "age" {
+			var a int
+			if _, err := fmt.Sscanf(m.StringValue(), "%d", &a); err == nil {
+				out = append(out, a)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// PrintFig7 renders the Figure 7 table.
+func PrintFig7(w io.Writer, sweep [][]Row) {
+	fmt.Fprintf(w, "Figure 7 — Bandwidth usage (documents + messages)\n")
+	fmt.Fprintf(w, "%12s %16s %16s %16s %16s\n", "docs", "data-shipping", "by-value", "by-fragment", "by-projection")
+	for _, rows := range sweep {
+		fmt.Fprintf(w, "%12s", fmtBytes(rows[0].DocsBytes))
+		for _, r := range rows {
+			fmt.Fprintf(w, " %16s", fmtBytes(r.TotalBytes))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig8 renders the Figure 8 breakdown table.
+func PrintFig8(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "Figure 8 — Query time breakdown at %s total data (simulated 1Gb/s LAN)\n",
+		fmtBytes(rows[0].DocsBytes))
+	fmt.Fprintf(w, "%16s %12s %12s %12s %12s %12s %12s\n",
+		"strategy", "shred", "local exec", "(de)serialize", "remote exec", "network", "TOTAL")
+	for _, r := range rows {
+		rep := r.Report
+		fmt.Fprintf(w, "%16s %12s %12s %12s %12s %12s %12s\n",
+			r.Strategy,
+			fmtNS(rep.ShredNS), fmtNS(rep.LocalExecNS), fmtNS(rep.SerdeNS),
+			fmtNS(rep.RemoteExecNS), fmtNS(rep.NetworkNS), fmtNS(rep.TotalNS()))
+	}
+}
+
+// PrintFig9 renders the Figure 9 table.
+func PrintFig9(w io.Writer, sweep [][]Row) {
+	fmt.Fprintf(w, "Figure 9 — Total execution time per query (simulated network)\n")
+	fmt.Fprintf(w, "%12s %16s %16s %16s %16s\n", "docs", "data-shipping", "by-value", "by-fragment", "by-projection")
+	for _, rows := range sweep {
+		fmt.Fprintf(w, "%12s", fmtBytes(rows[0].DocsBytes))
+		for _, r := range rows {
+			fmt.Fprintf(w, " %16s", fmtNS(r.Report.TotalNS()))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig10and11 renders the projection precision and time tables.
+func PrintFig10and11(w io.Writer, rows []ProjRow) {
+	fmt.Fprintf(w, "Figure 10 — Projected document size (compile-time vs runtime)\n")
+	fmt.Fprintf(w, "%12s %16s %16s %10s\n", "doc", "compile-time", "runtime", "ratio")
+	for _, r := range rows {
+		ratio := float64(r.CompileTimeSize) / float64(max64(1, r.RuntimeSize))
+		fmt.Fprintf(w, "%12s %16s %16s %9.1fx\n",
+			fmtBytes(r.DocBytes), fmtBytes(r.CompileTimeSize), fmtBytes(r.RuntimeSize), ratio)
+	}
+	fmt.Fprintf(w, "Figure 11 — Projection execution time\n")
+	fmt.Fprintf(w, "%12s %16s %16s\n", "doc", "compile-time", "runtime")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %16s %16s\n", fmtBytes(r.DocBytes), fmtNS(r.CompileTimeNS), fmtNS(r.RuntimeNS))
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

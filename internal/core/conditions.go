@@ -1,0 +1,349 @@
+package core
+
+import (
+	"strings"
+
+	"distxq/internal/xq"
+)
+
+// Strategy selects the decomposition condition set.
+type Strategy uint8
+
+// The evaluation strategies of §VII. DataShipping performs no decomposition
+// at all (fn:doc over xrpc:// fetches whole documents).
+const (
+	DataShipping Strategy = iota
+	ByValue
+	ByFragment
+	ByProjection
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DataShipping:
+		return "data-shipping"
+	case ByValue:
+		return "pass-by-value"
+	case ByFragment:
+		return "pass-by-fragment"
+	case ByProjection:
+		return "pass-by-projection"
+	}
+	return "unknown"
+}
+
+// exprHasRevHorStep reports a vertex carrying a RevAxis or HorAxis rule.
+func exprHasRevHorStep(e xq.Expr) bool {
+	pe, ok := e.(*xq.PathExpr)
+	if !ok {
+		return false
+	}
+	for _, st := range pe.Steps {
+		if st.Filter {
+			continue
+		}
+		if st.Axis.IsReverse() || st.Axis.IsHorizontal() {
+			return true
+		}
+	}
+	return false
+}
+
+// exprIsNodeCmpOrSetOp reports a NodeCmp or NodeSetExpr rule (condition ii).
+func exprIsNodeCmpOrSetOp(e xq.Expr) bool {
+	if c, ok := e.(*xq.CompareExpr); ok {
+		return c.Op.IsNodeComp()
+	}
+	_, isSet := e.(*xq.NodeSetExpr)
+	return isSet
+}
+
+// exprHasAxisStep reports a vertex with an AxisStep rule (condition iii's n).
+func exprHasAxisStep(e xq.Expr) bool {
+	pe, ok := e.(*xq.PathExpr)
+	if !ok {
+		return false
+	}
+	for _, st := range pe.Steps {
+		if !st.Filter {
+			return true
+		}
+	}
+	return false
+}
+
+// exprIsMixing reports a vertex whose rule belongs to condition iii's set of
+// "mixed-call / unordered / overlapping" constructs. Under pass-by-fragment
+// and pass-by-projection (§V), the ForExpr and OrderExpr restrictions drop
+// (Bulk RPC plus fragment encoding preserve order), and so does the
+// overlapping-axis restriction, leaving sequence construction and node-set
+// operators.
+func exprIsMixing(e xq.Expr, strat Strategy) bool {
+	switch v := e.(type) {
+	case *xq.SeqExpr:
+		return len(v.Items) > 1
+	case *xq.NodeSetExpr:
+		return true
+	case *xq.ForExpr:
+		if strat == ByValue {
+			return true // also covers OrderExpr (order by attaches to for)
+		}
+		return false
+	case *xq.PathExpr:
+		if strat != ByValue {
+			return false
+		}
+		for _, st := range v.Steps {
+			if !st.Filter && !st.Axis.NonOverlapping() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprIsProblemFun reports fn:root/fn:id/fn:idref applications (condition iv).
+func exprIsProblemFun(e xq.Expr) bool {
+	fc, ok := e.(*xq.FunCall)
+	if !ok {
+		return false
+	}
+	switch fc.Name {
+	case "root", "id", "idref", "fn:root", "fn:id", "fn:idref":
+		return true
+	}
+	return false
+}
+
+// ReachDocs collects the fn:doc applications an expression (transitively)
+// depends on — the doc identities its value may contain. This is the input
+// to the hasMatchingDoc gate of §V, which the paper attaches to "an
+// expression [that] may not depend on two different applications in the
+// query of fn:doc() with the same URI".
+func (g *Graph) ReachDocs(n xq.Expr) map[DocID]bool {
+	out := map[DocID]bool{}
+	for m := range g.Reach(n) {
+		switch fc := m.(type) {
+		case *xq.FunCall:
+			name := strings.TrimPrefix(fc.Name, "fn:")
+			if name == "doc" || name == "collection" {
+				uri := "*"
+				if name == "doc" && len(fc.Args) == 1 {
+					if lit, ok := fc.Args[0].(*xq.Literal); ok {
+						uri = lit.Val.ItemString()
+					}
+				}
+				out[DocID{URI: uri, Vertex: m}] = true
+			}
+		case *xq.ElemConstructor, *xq.DocConstructor:
+			out[DocID{URI: "(constructed)", Vertex: m}] = true
+		}
+	}
+	return out
+}
+
+// Valid reports whether rs satisfies the insertion conditions of the given
+// strategy: the conservative by-value conditions i–iv (§IV), the relaxed
+// by-fragment conditions (§V: ii and iii only for consumers that may mix
+// nodes of one document obtained through different calls — hasMatchingDoc —
+// and iii without the for/order/overlap restrictions), or the by-projection
+// conditions (§VI: only the gated ii and iii).
+func (g *Graph) Valid(rs xq.Expr, strat Strategy) bool {
+	if strat == DataShipping {
+		return false
+	}
+	inside := g.Subtree(rs)
+	dep := g.DependsOn(rs)
+	// Consumers: vertices using the result of rs from outside its subtree —
+	// the useResult(n, rs) side. Expressions entirely inside rs execute
+	// remotely and never see shipped copies (Example 4.1 keeps v1).
+	consumer := func(n xq.Expr) bool { return dep[n] && !inside[n] }
+	paramUser := g.ParamUsers(rs)
+
+	gateCache := map[xq.Expr]bool{}
+	gateFor := func(n xq.Expr) bool {
+		if strat == ByValue {
+			return true
+		}
+		if v, ok := gateCache[n]; ok {
+			return v
+		}
+		v := HasMatchingDoc(g.ReachDocs(n))
+		gateCache[n] = v
+		return v
+	}
+
+	var reachRS map[xq.Expr]bool
+
+	for _, n := range g.Pre {
+		affected := consumer(n) || paramUser[n]
+		if !affected {
+			continue
+		}
+		// Condition i: reverse/horizontal steps on shipped nodes (lifted by
+		// pass-by-projection, which ships the required ancestors).
+		if strat != ByProjection && exprHasRevHorStep(n) {
+			return false
+		}
+		// Condition iv: root()/id()/idref() on shipped nodes (likewise
+		// lifted by projection).
+		if strat != ByProjection && exprIsProblemFun(n) {
+			return false
+		}
+		// Condition ii: node identity/order comparisons and node-set
+		// operators; under fragment/projection only when the consumer may
+		// hold same-document nodes from different calls.
+		if exprIsNodeCmpOrSetOp(n) && gateFor(n) {
+			return false
+		}
+		// Condition iii: an XPath step over shipped nodes whose sequence
+		// flowed through a mixing construct.
+		if !exprHasAxisStep(n) {
+			continue
+		}
+		if consumer(n) && gateFor(n) {
+			// Case A1: the remote result itself is produced through a
+			// mixing construct inside rs.
+			if reachRS == nil {
+				reachRS = g.Reach(rs)
+			}
+			for m := range reachRS {
+				if exprIsMixing(m, strat) {
+					return false
+				}
+			}
+		}
+		if paramUser[n] && inside[n] {
+			// Case B: a step inside the shipped body navigates a parameter
+			// whose binding flowed through a mixing construct (the printed
+			// condition's ∃v ∉ Gs : rs ⇒p n ⇒ v ⇒ m clause).
+			for ref, target := range g.RefTarget {
+				if !inside[ref] || target == nil || inside[target] {
+					continue
+				}
+				if strat != ByValue && !gateFor(target) {
+					continue
+				}
+				for m := range g.Reach(target) {
+					if exprIsMixing(m, strat) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	// Case A2: rs's remote result flows upward through a mixing construct
+	// into an XPath step applied by parse edges — the "part of a ForExpr
+	// with the /grade step on top" situation that keeps Qn2's second half
+	// local under pass-by-value. Value flow stops at let bindings (a bind
+	// reaches consumers only through varref edges, which case A1 and the
+	// per-consumer checks above handle).
+	if g.outputFlowMixed(rs, strat, gateFor) {
+		return false
+	}
+	return true
+}
+
+// outputFlowMixed walks the output-flow ancestors of rs; once the flow has
+// passed a mixing construct, reaching a PathExpr input means a step applies
+// to a mixed sequence containing shipped nodes.
+func (g *Graph) outputFlowMixed(rs xq.Expr, strat Strategy, gateFor func(xq.Expr) bool) bool {
+	sawMixing := false
+	child := rs
+	for m := g.Parent[rs]; m != nil; child, m = m, g.Parent[m] {
+		if !flowsToResult(m, child) {
+			return false
+		}
+		if exprIsMixing(m, strat) {
+			sawMixing = true
+		}
+		if pe, ok := m.(*xq.PathExpr); ok && sawMixing && pe.Input == child &&
+			exprHasAxisStep(m) && gateFor(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// flowsToResult reports whether the value of the child expression can appear
+// in (or structurally constitute part of) the parent's result.
+func flowsToResult(parent, child xq.Expr) bool {
+	switch v := parent.(type) {
+	case *xq.LetExpr:
+		return child == v.Return
+	case *xq.ForExpr:
+		return child == v.In || child == v.Return
+	case *xq.IfExpr:
+		return child == v.Then || child == v.Else
+	case *xq.TypeswitchExpr:
+		if child == v.Operand {
+			return false
+		}
+		return true // case returns and default flow
+	case *xq.QuantifiedExpr, *xq.CompareExpr, *xq.ArithExpr, *xq.LogicExpr,
+		*xq.UnaryExpr:
+		return false // atomized results: no node flow
+	case *xq.SeqExpr, *xq.NodeSetExpr:
+		return true
+	case *xq.PathExpr:
+		return child == v.Input // predicates do not flow
+	case *xq.ElemConstructor, *xq.AttrConstructor, *xq.TextConstructor, *xq.DocConstructor:
+		// Constructor content is copied into fresh nodes: downstream steps
+		// see new local nodes, not shipped ones.
+		return false
+	case *xq.FunCall:
+		return true // conservative: many builtins pass nodes through
+	case *xq.XRPCExpr, *xq.ExecuteAt:
+		return false
+	}
+	return false
+}
+
+// Interesting reports whether a valid decomposition point is an interesting
+// one (I′(G), §IV): it is the root of its URI-dependency equivalence class,
+// contains at least one fn:doc with an xrpc:// URI, and executes at least
+// one XPath step on document data. The additional practical requirement for
+// an executable plan — all xrpc docs on one host — is checked here too.
+func (g *Graph) Interesting(rs xq.Expr, strat Strategy) (host string, ok bool) {
+	docs := g.DocSet(rs)
+	if len(docs) == 0 {
+		return "", false
+	}
+	hosts := XRPCHosts(docs)
+	if len(hosts) != 1 {
+		return "", false
+	}
+	// Every document the subquery touches must live at that host (a doc
+	// without xrpc scheme or a constructed doc is fine only if local to the
+	// remote body — conservatively require xrpc URIs or constructed nodes).
+	for d := range docs {
+		if d.URI == "(constructed)" {
+			continue
+		}
+		h, isXRPC := XRPCHost(d.URI)
+		if !isXRPC || h != hosts[0] {
+			return "", false
+		}
+	}
+	// (a) The paper's "root of its equivalence class" restriction is
+	// realized by the caller's greedy topmost-first scan: the highest VALID
+	// vertex of each class wins and its descendants are skipped. (Table IV
+	// shows the by-value strategy pushing the doc path below an invalid
+	// class root — Qv2's fcn1 — so the class root itself must not gate.)
+	// (c) at least one XPath step over the document.
+	hasStep := false
+	xq.Walk(rs, func(e xq.Expr) bool {
+		if exprHasAxisStep(e) {
+			hasStep = true
+			return false
+		}
+		return true
+	})
+	if !hasStep {
+		return "", false
+	}
+	if !g.Valid(rs, strat) {
+		return "", false
+	}
+	return hosts[0], true
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"distxq/internal/projection"
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// Options tune the decomposition pipeline.
+type Options struct {
+	// SinkLets enables the §IV let-normalization (on by default via
+	// DefaultOptions).
+	SinkLets bool
+	// CodeMotion enables distributed code motion (§IV): expressions that
+	// solely depend on a function parameter move to the caller side as
+	// additional parameters.
+	CodeMotion bool
+}
+
+// DefaultOptions is the configuration the evaluation section uses.
+func DefaultOptions() Options { return Options{SinkLets: true} }
+
+// RemoteSite pairs an inserted XRPCExpr with its target host.
+type RemoteSite struct {
+	X    *xq.XRPCExpr
+	Host string
+}
+
+// Plan is a decomposed query ready for execution: the rewritten query, the
+// inserted remote calls, and (for pass-by-projection) the relative
+// projection paths per call.
+type Plan struct {
+	Query     *xq.Query
+	Strategy  Strategy
+	Remotes   []RemoteSite
+	Relatives map[*xq.XRPCExpr]projection.RelativePaths
+}
+
+// Decompose rewrites q in place into an equivalent distributed query under
+// the given strategy and returns the plan. The pipeline is: normalize
+// (surface execute-at → XCore rule 27), alpha-rename, sink let-bindings,
+// identify interesting decomposition points, insert XRPCExprs (§III-B),
+// optionally apply code motion, and derive projection paths.
+func Decompose(q *xq.Query, strat Strategy, opts Options) (*Plan, error) {
+	if err := xq.Normalize(q); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Query: q, Strategy: strat, Relatives: map[*xq.XRPCExpr]projection.RelativePaths{}}
+	if strat == DataShipping {
+		return plan, nil
+	}
+	AlphaRename(q)
+	if opts.SinkLets {
+		SinkLets(q)
+	}
+	g := Build(q.Body)
+	chosen := choosePoints(g, strat)
+	fcnSeq := 0
+	for _, rs := range chosen {
+		fcnSeq++
+		x := insertXRPC(g, q, rs.expr, rs.host, fmt.Sprintf("fcn%d", fcnSeq))
+		plan.Remotes = append(plan.Remotes, RemoteSite{X: x, Host: rs.host})
+	}
+	if opts.CodeMotion {
+		applyCodeMotion(q, plan)
+	}
+	if strat == ByProjection {
+		// Derive relative projection paths for every remote call in the
+		// final query — decomposer-inserted sites and user-written
+		// execute-at expressions alike.
+		var all []*xq.XRPCExpr
+		xq.Walk(q.Body, func(e xq.Expr) bool {
+			if x, ok := e.(*xq.XRPCExpr); ok {
+				all = append(all, x)
+			}
+			return true
+		})
+		if len(all) > 0 {
+			a, err := projection.Analyze(q)
+			if err != nil {
+				return nil, err
+			}
+			for _, x := range all {
+				plan.Relatives[x] = a.Relative(x, q.Body)
+			}
+		}
+	}
+	return plan, nil
+}
+
+type point struct {
+	expr xq.Expr
+	host string
+}
+
+// choosePoints scans the d-graph in pre-order for interesting decomposition
+// points, greedily taking the topmost and skipping their descendants.
+func choosePoints(g *Graph, strat Strategy) []point {
+	var out []point
+	taken := map[xq.Expr]bool{}
+	// User-written execute-at expressions are already remote: never insert
+	// a second XRPCExpr inside their bodies (rule 27 functions are flat).
+	for _, v := range g.Pre {
+		if _, isRemote := v.(*xq.XRPCExpr); isRemote {
+			taken[v] = true
+		}
+	}
+	insideTaken := func(e xq.Expr) bool {
+		for p := e; p != nil; p = g.Parent[p] {
+			if taken[p] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range g.Pre {
+		if insideTaken(v) {
+			continue
+		}
+		if host, ok := g.Interesting(v, strat); ok {
+			taken[v] = true
+			out = append(out, point{expr: v, host: host})
+		}
+	}
+	return out
+}
+
+// insertXRPC performs the §III-B rewrite: the subgraph rooted at rs becomes
+// the body of a new remote function; every outgoing varref edge turns into
+// an XRPCParam ($dotN := $outer); the XRPCExpr replaces rs in the tree.
+func insertXRPC(g *Graph, q *xq.Query, rs xq.Expr, host, fname string) *xq.XRPCExpr {
+	free := xq.FreeVars(rs)
+	x := &xq.XRPCExpr{
+		Target:   &xq.Literal{Val: xdm.NewString(host)},
+		FuncName: fname,
+	}
+	subst := map[string]string{}
+	i := 0
+	// Deterministic parameter order: first use order in the body.
+	var order []string
+	seen := map[string]bool{}
+	xq.Walk(rs, func(e xq.Expr) bool {
+		if ref, ok := e.(*xq.VarRef); ok && free[ref.Name] && !seen[ref.Name] {
+			seen[ref.Name] = true
+			order = append(order, ref.Name)
+		}
+		return true
+	})
+	for _, name := range order {
+		i++
+		pn := fmt.Sprintf("dot%d", i)
+		subst[name] = pn
+		x.Params = append(x.Params, &xq.XRPCParam{Name: pn, Ref: name})
+		x.Types = append(x.Types, xq.AnyItems)
+	}
+	x.Body = xq.RenameFreeVars(rs, subst)
+	if !replaceExpr(q, rs, x) {
+		panic("core: insertion point not found in query")
+	}
+	return x
+}
+
+// replaceExpr swaps old for new anywhere in the query (body or declared
+// function bodies), returning whether a replacement happened.
+func replaceExpr(q *xq.Query, old, nw xq.Expr) bool {
+	if q.Body == old {
+		q.Body = nw
+		return true
+	}
+	found := false
+	var visit func(e xq.Expr)
+	visit = func(e xq.Expr) {
+		if found || e == nil {
+			return
+		}
+		for _, s := range childSlots(e) {
+			if s.get() == old {
+				s.set(nw)
+				found = true
+				return
+			}
+		}
+		for _, s := range childSlots(e) {
+			visit(s.get())
+		}
+	}
+	visit(q.Body)
+	for _, f := range q.Funcs {
+		if found {
+			break
+		}
+		if f.Body == old {
+			f.Body = nw
+			found = true
+			break
+		}
+		visit(f.Body)
+	}
+	return found
+}
+
+// applyCodeMotion implements distributed code motion (§IV): inside each
+// shipped body, a downward path applied to a parameter and consumed by a
+// value comparison is replaced by a fresh parameter computed at the caller,
+// so only the (small) extracted values ship instead of full nodes.
+func applyCodeMotion(q *xq.Query, plan *Plan) {
+	seq := 0
+	for _, site := range plan.Remotes {
+		x := site.X
+		for _, param := range append([]*xq.XRPCParam(nil), x.Params...) {
+			moved := movableParamPaths(x.Body, param.Name)
+			if len(moved) == 0 {
+				continue
+			}
+			for _, pe := range moved {
+				seq++
+				newParam := fmt.Sprintf("para%d", seq)
+				letVar := fmt.Sprintf("cm%d", seq)
+				// Caller-side expression: the moved path applied to the
+				// caller's value of the parameter, atomized so the message
+				// carries string values instead of nodes ("extract the
+				// string value of id at peer A and only ship the strings",
+				// Table IV's $para2 as xs:string*).
+				movedPath := xq.CloneExpr(pe).(*xq.PathExpr)
+				movedPath.Input = &xq.VarRef{Name: param.Ref}
+				callerExpr := &xq.FunCall{Name: "data", Args: []xq.Expr{movedPath}}
+				// Body side: the path becomes a parameter reference.
+				if !replaceExpr(q, xq.Expr(pe), &xq.VarRef{Name: newParam}) {
+					continue
+				}
+				x.Params = append(x.Params, &xq.XRPCParam{Name: newParam, Ref: letVar})
+				x.Types = append(x.Types, xq.AnyItems)
+				// Wrap the XRPCExpr with the caller-side let.
+				wrap := &xq.LetExpr{Var: letVar, Bind: callerExpr, Return: x}
+				if !replaceExpr(q, xq.Expr(x), xq.Expr(wrap)) {
+					// x may already be wrapped (several moved paths): splice
+					// above the innermost wrapper instead.
+					spliceAbove(q, x, wrap)
+				}
+			}
+			// Drop the original parameter if the body no longer uses it.
+			if countFreeUses(x.Body, param.Name) == 0 {
+				var keepP []*xq.XRPCParam
+				var keepT []xq.SeqType
+				for i, p := range x.Params {
+					if p != param {
+						keepP = append(keepP, p)
+						if i < len(x.Types) {
+							keepT = append(keepT, x.Types[i])
+						}
+					}
+				}
+				x.Params, x.Types = keepP, keepT
+			}
+		}
+	}
+}
+
+// spliceAbove inserts wrap directly above x when x is already nested below
+// earlier code-motion lets.
+func spliceAbove(q *xq.Query, x *xq.XRPCExpr, wrap *xq.LetExpr) {
+	var visit func(e xq.Expr) bool
+	visit = func(e xq.Expr) bool {
+		if e == nil {
+			return false
+		}
+		for _, s := range childSlots(e) {
+			if s.get() == xq.Expr(x) {
+				s.set(wrap)
+				return true
+			}
+			if visit(s.get()) {
+				return true
+			}
+		}
+		return false
+	}
+	if q.Body == xq.Expr(x) {
+		q.Body = wrap
+		return
+	}
+	visit(q.Body)
+}
+
+// movableParamPaths finds maximal PathExprs in body of the form
+// $param/downward-steps (no predicates) whose value is consumed by a value
+// comparison — the §IV safety condition approximated: moving only
+// atomization-bound downward paths of a parameter is semantically safe.
+func movableParamPaths(body xq.Expr, param string) []*xq.PathExpr {
+	var out []*xq.PathExpr
+	var visit func(e xq.Expr, inValueCmp bool)
+	visit = func(e xq.Expr, inValueCmp bool) {
+		switch v := e.(type) {
+		case nil:
+			return
+		case *xq.CompareExpr:
+			if !v.Op.IsNodeComp() {
+				visit(v.Left, true)
+				visit(v.Right, true)
+				return
+			}
+			visit(v.Left, false)
+			visit(v.Right, false)
+		case *xq.PathExpr:
+			if inValueCmp && isParamDownwardPath(v, param) {
+				out = append(out, v)
+				return
+			}
+			for _, c := range xq.Children(v) {
+				visit(c, false)
+			}
+		default:
+			for _, c := range xq.Children(e) {
+				visit(c, false)
+			}
+		}
+	}
+	visit(body, false)
+	return out
+}
+
+func isParamDownwardPath(pe *xq.PathExpr, param string) bool {
+	ref, ok := pe.Input.(*xq.VarRef)
+	if !ok || ref.Name != param || len(pe.Steps) == 0 {
+		return false
+	}
+	for _, st := range pe.Steps {
+		if st.Filter || len(st.Preds) > 0 {
+			return false
+		}
+		switch st.Axis {
+		case xq.AxisChild, xq.AxisAttribute, xq.AxisDescendant, xq.AxisDescendantOrSelf, xq.AxisSelf:
+		default:
+			return false
+		}
+	}
+	return true
+}

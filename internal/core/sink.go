@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+
+	"distxq/internal/xq"
+)
+
+// slot is one mutable child position of an expression. sinkable marks
+// positions a let-binding may legally move into without changing how often
+// the binding is evaluated per iteration (for-return, quantifier bodies,
+// predicates and order-by keys are excluded).
+type slot struct {
+	get      func() xq.Expr
+	set      func(xq.Expr)
+	sinkable bool
+}
+
+func childSlots(e xq.Expr) []slot {
+	mk := func(get func() xq.Expr, set func(xq.Expr), sinkable bool) slot {
+		return slot{get: get, set: set, sinkable: sinkable}
+	}
+	switch v := e.(type) {
+	case *xq.ForExpr:
+		out := []slot{mk(func() xq.Expr { return v.In }, func(x xq.Expr) { v.In = x }, true)}
+		for i := range v.OrderBy {
+			i := i
+			out = append(out, mk(func() xq.Expr { return v.OrderBy[i].Key },
+				func(x xq.Expr) { v.OrderBy[i].Key = x }, false))
+		}
+		out = append(out, mk(func() xq.Expr { return v.Return }, func(x xq.Expr) { v.Return = x }, false))
+		return out
+	case *xq.LetExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.Bind }, func(x xq.Expr) { v.Bind = x }, true),
+			mk(func() xq.Expr { return v.Return }, func(x xq.Expr) { v.Return = x }, true),
+		}
+	case *xq.IfExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.Cond }, func(x xq.Expr) { v.Cond = x }, true),
+			mk(func() xq.Expr { return v.Then }, func(x xq.Expr) { v.Then = x }, true),
+			mk(func() xq.Expr { return v.Else }, func(x xq.Expr) { v.Else = x }, true),
+		}
+	case *xq.QuantifiedExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.In }, func(x xq.Expr) { v.In = x }, true),
+			mk(func() xq.Expr { return v.Satisfies }, func(x xq.Expr) { v.Satisfies = x }, false),
+		}
+	case *xq.TypeswitchExpr:
+		out := []slot{mk(func() xq.Expr { return v.Operand }, func(x xq.Expr) { v.Operand = x }, true)}
+		for _, c := range v.Cases {
+			c := c
+			out = append(out, mk(func() xq.Expr { return c.Return }, func(x xq.Expr) { c.Return = x }, true))
+		}
+		out = append(out, mk(func() xq.Expr { return v.Default }, func(x xq.Expr) { v.Default = x }, true))
+		return out
+	case *xq.CompareExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.Left }, func(x xq.Expr) { v.Left = x }, true),
+			mk(func() xq.Expr { return v.Right }, func(x xq.Expr) { v.Right = x }, true),
+		}
+	case *xq.ArithExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.Left }, func(x xq.Expr) { v.Left = x }, true),
+			mk(func() xq.Expr { return v.Right }, func(x xq.Expr) { v.Right = x }, true),
+		}
+	case *xq.UnaryExpr:
+		return []slot{mk(func() xq.Expr { return v.Operand }, func(x xq.Expr) { v.Operand = x }, true)}
+	case *xq.LogicExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.Left }, func(x xq.Expr) { v.Left = x }, true),
+			// The right operand may not be evaluated at all.
+			mk(func() xq.Expr { return v.Right }, func(x xq.Expr) { v.Right = x }, true),
+		}
+	case *xq.SeqExpr:
+		out := make([]slot, len(v.Items))
+		for i := range v.Items {
+			i := i
+			out[i] = mk(func() xq.Expr { return v.Items[i] }, func(x xq.Expr) { v.Items[i] = x }, true)
+		}
+		return out
+	case *xq.NodeSetExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.Left }, func(x xq.Expr) { v.Left = x }, true),
+			mk(func() xq.Expr { return v.Right }, func(x xq.Expr) { v.Right = x }, true),
+		}
+	case *xq.PathExpr:
+		var out []slot
+		if v.Input != nil {
+			// A let stops just above a path expression rather than inside
+			// its input: the paper's Qn2 keeps `let $c := doc(..) return
+			// $c/enroll/exam`, relating the doc to its steps via parse
+			// edges while staying readable.
+			out = append(out, mk(func() xq.Expr { return v.Input }, func(x xq.Expr) { v.Input = x }, false))
+		}
+		for _, st := range v.Steps {
+			st := st
+			for i := range st.Preds {
+				i := i
+				out = append(out, mk(func() xq.Expr { return st.Preds[i] },
+					func(x xq.Expr) { st.Preds[i] = x }, false))
+			}
+		}
+		return out
+	case *xq.ElemConstructor:
+		var out []slot
+		if v.NameExpr != nil {
+			out = append(out, mk(func() xq.Expr { return v.NameExpr }, func(x xq.Expr) { v.NameExpr = x }, true))
+		}
+		for i := range v.Content {
+			i := i
+			out = append(out, mk(func() xq.Expr { return v.Content[i] }, func(x xq.Expr) { v.Content[i] = x }, true))
+		}
+		return out
+	case *xq.AttrConstructor:
+		var out []slot
+		if v.NameExpr != nil {
+			out = append(out, mk(func() xq.Expr { return v.NameExpr }, func(x xq.Expr) { v.NameExpr = x }, true))
+		}
+		for i := range v.Value {
+			i := i
+			out = append(out, mk(func() xq.Expr { return v.Value[i] }, func(x xq.Expr) { v.Value[i] = x }, true))
+		}
+		return out
+	case *xq.TextConstructor:
+		return []slot{mk(func() xq.Expr { return v.Content }, func(x xq.Expr) { v.Content = x }, true)}
+	case *xq.DocConstructor:
+		return []slot{mk(func() xq.Expr { return v.Content }, func(x xq.Expr) { v.Content = x }, true)}
+	case *xq.FunCall:
+		out := make([]slot, len(v.Args))
+		for i := range v.Args {
+			i := i
+			out[i] = mk(func() xq.Expr { return v.Args[i] }, func(x xq.Expr) { v.Args[i] = x }, true)
+		}
+		return out
+	case *xq.ExecuteAt:
+		return []slot{
+			mk(func() xq.Expr { return v.Target }, func(x xq.Expr) { v.Target = x }, true),
+			mk(func() xq.Expr { return v.Call },
+				func(x xq.Expr) { v.Call = x.(*xq.FunCall) }, false),
+		}
+	case *xq.XRPCExpr:
+		return []slot{
+			mk(func() xq.Expr { return v.Target }, func(x xq.Expr) { v.Target = x }, true),
+			mk(func() xq.Expr { return v.Body }, func(x xq.Expr) { v.Body = x }, false),
+		}
+	}
+	return nil
+}
+
+// countFreeUses counts free occurrences of $name in e.
+func countFreeUses(e xq.Expr, name string) int {
+	n := 0
+	// FreeVars loses multiplicity; count explicitly with shadowing care.
+	var walkCount func(x xq.Expr, shadowed bool)
+	walkCount = func(x xq.Expr, shadowed bool) {
+		switch v := x.(type) {
+		case nil:
+			return
+		case *xq.VarRef:
+			if !shadowed && v.Name == name {
+				n++
+			}
+		case *xq.ForExpr:
+			walkCount(v.In, shadowed)
+			sh := shadowed || v.Var == name
+			for _, s := range v.OrderBy {
+				walkCount(s.Key, sh)
+			}
+			walkCount(v.Return, sh)
+		case *xq.LetExpr:
+			walkCount(v.Bind, shadowed)
+			walkCount(v.Return, shadowed || v.Var == name)
+		case *xq.QuantifiedExpr:
+			walkCount(v.In, shadowed)
+			walkCount(v.Satisfies, shadowed || v.Var == name)
+		case *xq.TypeswitchExpr:
+			walkCount(v.Operand, shadowed)
+			for _, c := range v.Cases {
+				walkCount(c.Return, shadowed || c.Var == name)
+			}
+			walkCount(v.Default, shadowed || v.DefaultVar == name)
+		case *xq.XRPCExpr:
+			walkCount(v.Target, shadowed)
+			for _, p := range v.Params {
+				if !shadowed && p.Ref == name {
+					n++
+				}
+			}
+			inner := shadowed
+			for _, p := range v.Params {
+				if p.Name == name {
+					inner = true
+				}
+			}
+			walkCount(v.Body, inner)
+		default:
+			for _, c := range xq.Children(x) {
+				walkCount(c, shadowed)
+			}
+		}
+	}
+	walkCount(e, false)
+	return n
+}
+
+// AlphaRename makes every binder name unique across the query so sinking and
+// insertion never capture variables. Existing names are kept when unique.
+func AlphaRename(q *xq.Query) {
+	used := map[string]bool{}
+	for _, f := range q.Funcs {
+		for _, p := range f.Params {
+			used[p.Name] = true
+		}
+	}
+	fresh := func(base string) string {
+		if !used[base] {
+			used[base] = true
+			return base
+		}
+		for i := 1; ; i++ {
+			cand := fmt.Sprintf("%s_%d", base, i)
+			if !used[cand] {
+				used[cand] = true
+				return cand
+			}
+		}
+	}
+	var rn func(e xq.Expr, subst map[string]string) xq.Expr
+	rn = func(e xq.Expr, subst map[string]string) xq.Expr {
+		switch v := e.(type) {
+		case nil:
+			return nil
+		case *xq.VarRef:
+			if nn, ok := subst[v.Name]; ok {
+				v.Name = nn
+			}
+			return v
+		case *xq.ForExpr:
+			v.In = rn(v.In, subst)
+			nn := fresh(v.Var)
+			inner := withSubst(subst, v.Var, nn)
+			v.Var = nn
+			for i := range v.OrderBy {
+				v.OrderBy[i].Key = rn(v.OrderBy[i].Key, inner)
+			}
+			v.Return = rn(v.Return, inner)
+			return v
+		case *xq.LetExpr:
+			v.Bind = rn(v.Bind, subst)
+			nn := fresh(v.Var)
+			inner := withSubst(subst, v.Var, nn)
+			v.Var = nn
+			v.Return = rn(v.Return, inner)
+			return v
+		case *xq.QuantifiedExpr:
+			v.In = rn(v.In, subst)
+			nn := fresh(v.Var)
+			inner := withSubst(subst, v.Var, nn)
+			v.Var = nn
+			v.Satisfies = rn(v.Satisfies, inner)
+			return v
+		case *xq.TypeswitchExpr:
+			v.Operand = rn(v.Operand, subst)
+			for _, c := range v.Cases {
+				if c.Var != "" {
+					nn := fresh(c.Var)
+					inner := withSubst(subst, c.Var, nn)
+					c.Var = nn
+					c.Return = rn(c.Return, inner)
+				} else {
+					c.Return = rn(c.Return, subst)
+				}
+			}
+			if v.DefaultVar != "" {
+				nn := fresh(v.DefaultVar)
+				inner := withSubst(subst, v.DefaultVar, nn)
+				v.DefaultVar = nn
+				v.Default = rn(v.Default, inner)
+			} else {
+				v.Default = rn(v.Default, subst)
+			}
+			return v
+		case *xq.XRPCExpr:
+			v.Target = rn(v.Target, subst)
+			for _, p := range v.Params {
+				if nn, ok := subst[p.Ref]; ok {
+					p.Ref = nn
+				}
+			}
+			inner := map[string]string{}
+			v.Body = rn(v.Body, inner)
+			return v
+		default:
+			for _, s := range childSlots(e) {
+				s.set(rn(s.get(), subst))
+			}
+			return e
+		}
+	}
+	q.Body = rn(q.Body, map[string]string{})
+}
+
+func withSubst(s map[string]string, from, to string) map[string]string {
+	ns := make(map[string]string, len(s)+1)
+	for k, v := range s {
+		ns[k] = v
+	}
+	ns[from] = to
+	return ns
+}
+
+// SinkLets implements the §IV normalization: every let-binding moves to just
+// above the lowest common ancestor of the vertices referencing its variable,
+// relating document accesses to their uses through parse edges instead of
+// varref edges. Bindings with no uses are dropped. AlphaRename must run
+// first (Decompose does).
+func SinkLets(q *xq.Query) {
+	for changed := true; changed; {
+		changed = false
+		q.Body = sinkIn(q.Body, &changed)
+	}
+}
+
+func sinkIn(e xq.Expr, changed *bool) xq.Expr {
+	if e == nil {
+		return nil
+	}
+	for _, s := range childSlots(e) {
+		s.set(sinkIn(s.get(), changed))
+	}
+	let, ok := e.(*xq.LetExpr)
+	if !ok {
+		return e
+	}
+	uses := countFreeUses(let.Return, let.Var)
+	if uses == 0 {
+		*changed = true
+		return let.Return
+	}
+	// Compute the full descent in one pass: walk down while exactly one
+	// sinkable child slot contains every use. The move is performed only if
+	// the path crosses at least one slot that is not another let's return —
+	// plain let reordering makes no progress and would oscillate forever.
+	cur := let.Return
+	var final *slot
+	nonLetSlots := 0
+	depth := 0
+	for {
+		if bindsOwnVar(cur, let.Var) {
+			break // capture guard (unreachable after AlphaRename)
+		}
+		slots := childSlots(cur)
+		var next *slot
+		spread := false
+		for i := range slots {
+			c := slots[i].get()
+			if c == nil {
+				continue
+			}
+			n := countFreeUses(c, let.Var)
+			switch {
+			case n == uses && next == nil:
+				next = &slots[i]
+			case n > 0:
+				spread = true
+			}
+		}
+		if spread || next == nil || !next.sinkable {
+			break
+		}
+		curLet, isLet := cur.(*xq.LetExpr)
+		if !(isLet && next.get() == curLet.Return) {
+			nonLetSlots++
+		}
+		final = next
+		cur = next.get()
+		depth++
+		if depth > 10000 {
+			break // defensive bound; query trees are finite
+		}
+	}
+	if final == nil || nonLetSlots == 0 {
+		return e
+	}
+	final.set(&xq.LetExpr{Var: let.Var, Bind: let.Bind, Return: cur})
+	*changed = true
+	return let.Return
+}
+
+// bindsOwnVar reports whether expression e rebinding $name would capture the
+// sunk let (cannot happen after AlphaRename, kept as a safety net).
+func bindsOwnVar(e xq.Expr, name string) bool {
+	switch v := e.(type) {
+	case *xq.ForExpr:
+		return v.Var == name
+	case *xq.LetExpr:
+		return v.Var == name
+	case *xq.QuantifiedExpr:
+		return v.Var == name
+	case *xq.TypeswitchExpr:
+		if v.DefaultVar == name {
+			return true
+		}
+		for _, c := range v.Cases {
+			if c.Var == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+package eval
+
+import (
+	"fmt"
+
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// evalPath evaluates a (possibly multi-step) path expression. Each step maps
+// the current node sequence through its axis and node test, filters by
+// predicates, and re-establishes distinct document order — the XPath
+// semantics whose preservation under node shipping is the core concern of
+// the paper.
+func (c *context) evalPath(pe *xq.PathExpr) (xdm.Sequence, error) {
+	var cur xdm.Sequence
+	switch {
+	case pe.Input != nil:
+		s, err := c.eval(pe.Input)
+		if err != nil {
+			return nil, err
+		}
+		cur = s
+	case c.item != nil:
+		cur = xdm.Singleton(c.item)
+	default:
+		return nil, fmt.Errorf("eval: relative path with undefined context item")
+	}
+	for _, st := range pe.Steps {
+		if st.Filter {
+			filtered, err := c.filterItems(cur, st.Preds)
+			if err != nil {
+				return nil, err
+			}
+			cur = filtered
+			continue
+		}
+		nodes, ok := cur.Nodes()
+		if !ok {
+			return nil, fmt.Errorf("eval: path step %s::%s applied to atomic value", st.Axis, st.Test)
+		}
+		var gathered []*xdm.Node
+		for _, n := range nodes {
+			res := axisNodes(n, st.Axis, st.Test)
+			res, err := c.filterPreds(res, st.Preds)
+			if err != nil {
+				return nil, err
+			}
+			gathered = append(gathered, res...)
+		}
+		gathered = xdm.SortDocOrder(gathered)
+		cur = xdm.NodeSeq(gathered)
+	}
+	return cur, nil
+}
+
+// filterItems applies filter-expression predicates over a whole sequence
+// (which may include atomic items); a numeric predicate selects by position
+// within the entire sequence.
+func (c *context) filterItems(items xdm.Sequence, preds []xq.Expr) (xdm.Sequence, error) {
+	for _, pred := range preds {
+		kept := xdm.Sequence{}
+		size := len(items)
+		for i, it := range items {
+			pc := c.withItem(it, i+1, size)
+			s, err := pc.eval(pred)
+			if err != nil {
+				return nil, err
+			}
+			if len(s) == 1 {
+				if a, isAtom := s[0].(xdm.Atomic); isAtom && a.IsNumeric() {
+					if int(a.Number()) == i+1 {
+						kept = append(kept, it)
+					}
+					continue
+				}
+			}
+			b, ok := s.EffectiveBoolean()
+			if !ok {
+				return nil, fmt.Errorf("eval: invalid predicate value")
+			}
+			if b {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+	}
+	return items, nil
+}
+
+// filterPreds applies the step predicates to a candidate list. A predicate
+// evaluating to a number selects by position (1-based, in axis order, which
+// for our forward evaluation is document order); otherwise its effective
+// boolean value filters.
+func (c *context) filterPreds(nodes []*xdm.Node, preds []xq.Expr) ([]*xdm.Node, error) {
+	for _, pred := range preds {
+		var kept []*xdm.Node
+		size := len(nodes)
+		for i, n := range nodes {
+			pc := c.withItem(n, i+1, size)
+			s, err := pc.eval(pred)
+			if err != nil {
+				return nil, err
+			}
+			if len(s) == 1 {
+				if a, isAtom := s[0].(xdm.Atomic); isAtom && a.IsNumeric() {
+					if int(a.Number()) == i+1 {
+						kept = append(kept, n)
+					}
+					continue
+				}
+			}
+			b, ok := s.EffectiveBoolean()
+			if !ok {
+				return nil, fmt.Errorf("eval: invalid predicate value")
+			}
+			if b {
+				kept = append(kept, n)
+			}
+		}
+		nodes = kept
+	}
+	return nodes, nil
+}
+
+// AxisNodes returns the nodes reached from n over the axis that satisfy the
+// node test, in document order. It is exported for the projection package,
+// which evaluates projection paths with the engine's own axis semantics
+// (§VI-B: runtime projection "relies on the normal XPath evaluation
+// capabilities of the XQuery engine").
+func AxisNodes(n *xdm.Node, axis xq.Axis, test xq.NodeTest) []*xdm.Node {
+	return axisNodes(n, axis, test)
+}
+
+// axisNodes returns the nodes reached from n over the axis that satisfy the
+// node test, in document order.
+func axisNodes(n *xdm.Node, axis xq.Axis, test xq.NodeTest) []*xdm.Node {
+	var out []*xdm.Node
+	add := func(m *xdm.Node) {
+		if matchTest(m, axis, test) {
+			out = append(out, m)
+		}
+	}
+	switch axis {
+	case xq.AxisChild:
+		if n.Kind == xdm.AttributeNode {
+			return nil
+		}
+		for _, ch := range n.Children {
+			add(ch)
+		}
+	case xq.AxisAttribute:
+		for _, a := range n.Attrs {
+			add(a)
+		}
+	case xq.AxisSelf:
+		add(n)
+	case xq.AxisDescendant:
+		for _, ch := range n.Children {
+			ch.WalkDescendants(func(m *xdm.Node) bool { add(m); return true })
+		}
+	case xq.AxisDescendantOrSelf:
+		n.WalkDescendants(func(m *xdm.Node) bool { add(m); return true })
+	case xq.AxisParent:
+		if n.Parent != nil {
+			add(n.Parent)
+		}
+	case xq.AxisAncestor:
+		var anc []*xdm.Node
+		for p := n.Parent; p != nil; p = p.Parent {
+			anc = append(anc, p)
+		}
+		for i := len(anc) - 1; i >= 0; i-- { // document order: root first
+			add(anc[i])
+		}
+	case xq.AxisAncestorOrSelf:
+		var anc []*xdm.Node
+		for p := n; p != nil; p = p.Parent {
+			anc = append(anc, p)
+		}
+		for i := len(anc) - 1; i >= 0; i-- {
+			add(anc[i])
+		}
+	case xq.AxisFollowingSibling:
+		if n.Parent == nil || n.Kind == xdm.AttributeNode {
+			return nil
+		}
+		seen := false
+		for _, sib := range n.Parent.Children {
+			if sib == n {
+				seen = true
+				continue
+			}
+			if seen {
+				add(sib)
+			}
+		}
+	case xq.AxisPrecedingSibling:
+		if n.Parent == nil || n.Kind == xdm.AttributeNode {
+			return nil
+		}
+		for _, sib := range n.Parent.Children {
+			if sib == n {
+				break
+			}
+			add(sib)
+		}
+	case xq.AxisFollowing:
+		start := n
+		if n.Kind == xdm.AttributeNode {
+			start = n.Parent
+		}
+		for f := start.Following(); f != nil; f = f.NextInDocument() {
+			add(f)
+		}
+	case xq.AxisPreceding:
+		// All nodes before n in document order, excluding ancestors.
+		root := n.RootNode()
+		target := n
+		if n.Kind == xdm.AttributeNode {
+			target = n.Parent
+		}
+		root.WalkDescendants(func(m *xdm.Node) bool {
+			if m == target {
+				return false
+			}
+			if !m.IsAncestorOf(target) {
+				add(m)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// matchTest applies the node test. The principal node kind of the attribute
+// axis is attribute; of every other axis, element.
+func matchTest(n *xdm.Node, axis xq.Axis, test xq.NodeTest) bool {
+	switch test.Kind {
+	case xq.TestAnyNode:
+		return true
+	case xq.TestText:
+		return n.Kind == xdm.TextNode
+	case xq.TestComment:
+		return n.Kind == xdm.CommentNode
+	case xq.TestWildcard:
+		if axis == xq.AxisAttribute {
+			return n.Kind == xdm.AttributeNode
+		}
+		return n.Kind == xdm.ElementNode
+	case xq.TestName:
+		if axis == xq.AxisAttribute {
+			return n.Kind == xdm.AttributeNode && n.Name == test.Name
+		}
+		return n.Kind == xdm.ElementNode && n.Name == test.Name
+	}
+	return false
+}

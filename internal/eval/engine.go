@@ -1,0 +1,297 @@
+// Package eval implements a tree-walking evaluator for the xq dialect over
+// the xdm data model. It provides the local XQuery engine that peers run, the
+// document resolver abstraction (which is where data-shipping vs. function-
+// shipping strategies plug in), and the RemoteCaller hook through which
+// XRPCExpr nodes perform remote procedure calls.
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// Resolver turns a document URI into a document. Implementations decide what
+// xrpc:// URIs mean: a data-shipping resolver fetches the whole remote
+// document; a peer-local resolver serves its own store.
+type Resolver interface {
+	ResolveDoc(uri string) (*xdm.Document, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(uri string) (*xdm.Document, error)
+
+// ResolveDoc implements Resolver.
+func (f ResolverFunc) ResolveDoc(uri string) (*xdm.Document, error) { return f(uri) }
+
+// RemoteCaller executes a decomposed subquery on a remote peer. The xrpc
+// package provides the real implementation; tests may supply fakes.
+type RemoteCaller interface {
+	// CallRemote ships x.Body to target and returns the result sequence.
+	// params holds the evaluated values of x.Params in order.
+	CallRemote(target string, x *xq.XRPCExpr, params []xdm.Sequence) (xdm.Sequence, error)
+	// CallRemoteBulk performs Bulk RPC: one network interaction carrying
+	// the parameter bindings of every loop iteration. It returns one result
+	// sequence per iteration.
+	CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, error)
+}
+
+// StaticContext carries the static-context values that XRPC propagates to
+// remote peers (Problem 5, class 1).
+type StaticContext struct {
+	BaseURI          string
+	DefaultCollation string
+	CurrentDateTime  string
+}
+
+// DefaultStatic returns the static context used when none is configured.
+func DefaultStatic() StaticContext {
+	return StaticContext{
+		BaseURI:          "local:///",
+		DefaultCollation: "http://www.w3.org/2005/xpath-functions/collation/codepoint",
+		CurrentDateTime:  "2009-01-01T00:00:00Z",
+	}
+}
+
+// Engine evaluates queries. An Engine is safe for concurrent use when its
+// Resolver and Remote are.
+type Engine struct {
+	Resolver Resolver
+	Remote   RemoteCaller
+	Static   StaticContext
+
+	mu       sync.Mutex
+	docCache map[string]*xdm.Document
+
+	// Stats counts work done, for the benchmark harness.
+	Stats Stats
+}
+
+// Stats accumulates evaluation counters.
+type Stats struct {
+	DocsResolved int
+	RemoteCalls  int
+	BulkCalls    int
+}
+
+// NewEngine returns an engine with the given resolver and no remote caller.
+func NewEngine(r Resolver) *Engine {
+	return &Engine{Resolver: r, Static: DefaultStatic()}
+}
+
+// Doc resolves and caches a document by URI. Two fn:doc calls for the same
+// URI observe the same node identities, as XQuery requires.
+func (e *Engine) Doc(uri string) (*xdm.Document, error) {
+	e.mu.Lock()
+	if d, ok := e.docCache[uri]; ok {
+		e.mu.Unlock()
+		return d, nil
+	}
+	e.mu.Unlock()
+	if e.Resolver == nil {
+		return nil, fmt.Errorf("eval: no resolver configured for doc(%q)", uri)
+	}
+	d, err := e.Resolver.ResolveDoc(uri)
+	if err != nil {
+		return nil, fmt.Errorf("eval: doc(%q): %w", uri, err)
+	}
+	e.mu.Lock()
+	if e.docCache == nil {
+		e.docCache = map[string]*xdm.Document{}
+	}
+	e.docCache[uri] = d
+	e.Stats.DocsResolved++
+	e.mu.Unlock()
+	return d, nil
+}
+
+// ResetDocCache clears cached documents (used between benchmark runs).
+func (e *Engine) ResetDocCache() {
+	e.mu.Lock()
+	e.docCache = nil
+	e.Stats = Stats{}
+	e.mu.Unlock()
+}
+
+// Query normalizes and evaluates a parsed query.
+func (e *Engine) Query(q *xq.Query) (xdm.Sequence, error) {
+	if err := xq.Normalize(q); err != nil {
+		return nil, err
+	}
+	ctx := e.newContext(q.Funcs)
+	return ctx.eval(q.Body)
+}
+
+// QueryString parses, normalizes and evaluates query source text.
+func (e *Engine) QueryString(src string) (xdm.Sequence, error) {
+	q, err := xq.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(q)
+}
+
+// EvalFunction evaluates a declared function with the given arguments; the
+// XRPC server side uses it to run shipped functions.
+func (e *Engine) EvalFunction(q *xq.Query, name string, args []xdm.Sequence) (xdm.Sequence, error) {
+	return e.EvalFunctionStatic(q, name, args, nil)
+}
+
+// EvalFunctionStatic evaluates a declared function under an optional static
+// context override — how XRPC propagates the caller's static-base-uri,
+// default-collation and current-dateTime to the remote peer (Problem 5
+// class 1).
+func (e *Engine) EvalFunctionStatic(q *xq.Query, name string, args []xdm.Sequence, static *StaticContext) (xdm.Sequence, error) {
+	if err := xq.Normalize(q); err != nil {
+		return nil, err
+	}
+	ctx := e.newContext(q.Funcs)
+	if static != nil {
+		ctx.static = *static
+	}
+	for _, f := range q.Funcs {
+		if f.Name == name && len(f.Params) == len(args) {
+			return ctx.callDeclared(f, args)
+		}
+	}
+	return nil, fmt.Errorf("eval: function %s#%d not declared", name, len(args))
+}
+
+func (e *Engine) newContext(funcs []*xq.FuncDecl) *context {
+	fm := map[string]*xq.FuncDecl{}
+	for _, f := range funcs {
+		fm[fmt.Sprintf("%s/%d", f.Name, len(f.Params))] = f
+	}
+	return &context{eng: e, funcs: fm, static: e.Static}
+}
+
+// frame is one variable binding in a linked environment.
+type frame struct {
+	name string
+	val  xdm.Sequence
+	next *frame
+}
+
+// context is the dynamic evaluation context.
+type context struct {
+	eng    *Engine
+	funcs  map[string]*xq.FuncDecl
+	vars   *frame
+	item   xdm.Item // context item; nil when absent
+	pos    int      // 1-based context position within the step's input
+	size   int      // context size
+	static StaticContext
+}
+
+func (c *context) bind(name string, val xdm.Sequence) *context {
+	nc := *c
+	nc.vars = &frame{name: name, val: val, next: c.vars}
+	return &nc
+}
+
+func (c *context) withItem(it xdm.Item, pos, size int) *context {
+	nc := *c
+	nc.item, nc.pos, nc.size = it, pos, size
+	return &nc
+}
+
+func (c *context) lookup(name string) (xdm.Sequence, bool) {
+	for f := c.vars; f != nil; f = f.next {
+		if f.name == name {
+			return f.val, true
+		}
+	}
+	return nil, false
+}
+
+// callDeclared evaluates a declared function body with a fresh environment
+// containing only its parameters (XQuery functions do not close over the
+// caller's variables).
+func (c *context) callDeclared(f *xq.FuncDecl, args []xdm.Sequence) (xdm.Sequence, error) {
+	nc := &context{eng: c.eng, funcs: c.funcs, static: c.static}
+	for i, p := range f.Params {
+		if err := checkSeqType(args[i], p.Type); err != nil {
+			return nil, fmt.Errorf("eval: %s($%s): %w", f.Name, p.Name, err)
+		}
+		nc = nc.bind(p.Name, args[i])
+	}
+	res, err := nc.eval(f.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSeqType(res, f.Return); err != nil {
+		return nil, fmt.Errorf("eval: %s result: %w", f.Name, err)
+	}
+	return res, nil
+}
+
+// checkSeqType enforces occurrence and a light item-type check.
+func checkSeqType(s xdm.Sequence, t xq.SeqType) error {
+	switch t.Occur {
+	case xq.OccurOne:
+		if t.Item == "empty-sequence()" {
+			if len(s) != 0 {
+				return fmt.Errorf("expected empty-sequence(), got %d items", len(s))
+			}
+			return nil
+		}
+		if len(s) != 1 {
+			return fmt.Errorf("expected exactly one %s, got %d items", t.Item, len(s))
+		}
+	case xq.OccurOptional:
+		if len(s) > 1 {
+			return fmt.Errorf("expected at most one %s, got %d items", t.Item, len(s))
+		}
+	case xq.OccurPlus:
+		if len(s) == 0 {
+			return fmt.Errorf("expected at least one %s, got empty sequence", t.Item)
+		}
+	}
+	for _, it := range s {
+		if !itemMatches(it, t.Item) {
+			return fmt.Errorf("item %v does not match type %s", it, t.Item)
+		}
+	}
+	return nil
+}
+
+func itemMatches(it xdm.Item, itemType string) bool {
+	switch itemType {
+	case "item()", "":
+		return true
+	case "empty-sequence()":
+		return false
+	}
+	n, isNode := it.(*xdm.Node)
+	switch itemType {
+	case "node()":
+		return isNode
+	case "element()":
+		return isNode && n.Kind == xdm.ElementNode
+	case "attribute()":
+		return isNode && n.Kind == xdm.AttributeNode
+	case "text()":
+		return isNode && n.Kind == xdm.TextNode
+	case "document-node()", "document()":
+		return isNode && n.Kind == xdm.DocumentNode
+	case "boolean()", "xs:boolean":
+		a, isA := it.(xdm.Atomic)
+		return isA && a.T == xdm.TBoolean
+	}
+	if isNode {
+		return false
+	}
+	a := it.(xdm.Atomic)
+	if at, ok := xdm.ParseAtomType(itemType); ok {
+		if at == xdm.TDouble && a.T == xdm.TInteger {
+			return true // numeric promotion
+		}
+		if at == xdm.TString && a.T == xdm.TUntyped {
+			return true
+		}
+		return a.T == at
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package eval
+
+import "testing"
+
+func TestPositionAndLastInPredicates(t *testing.T) {
+	expect(t, peopleDocs, `doc("people.xml")//person[position() = 2]/name/text()`, "Bob")
+	expect(t, peopleDocs, `doc("people.xml")//person[position() > 1]/@id`, `id="2" id="3"`)
+	expect(t, peopleDocs, `doc("people.xml")//person[last()]/name/text()`, "Cyd")
+	expect(t, peopleDocs, `doc("people.xml")//person[position() = last() - 1]/@id`, `id="2"`)
+	expect(t, nil, `(10,20,30)[position() = last()]`, "30")
+	expect(t, nil, `(10,20,30)[position() != 2]`, "10 30")
+	runErr(t, nil, `position()`)
+	runErr(t, nil, `last()`)
+}

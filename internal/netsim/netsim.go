@@ -1,0 +1,44 @@
+// Package netsim provides a deterministic network cost model. The paper's
+// evaluation ran on three machines with 1 Gb/s Ethernet; this repository runs
+// peers in one process, so transports account simulated transfer time from a
+// configurable latency + bandwidth model instead of wall-clock socket time.
+// The model makes the Figure 8/9 "network" component reproducible on any
+// machine.
+package netsim
+
+import "time"
+
+// Model is a latency + bandwidth link model.
+type Model struct {
+	// Latency is the one-way message latency.
+	Latency time.Duration
+	// BandwidthBytesPerSec is the link throughput. Zero disables the
+	// bandwidth term.
+	BandwidthBytesPerSec float64
+}
+
+// GigabitLAN approximates the paper's testbed: 1 Gb/s Ethernet, 0.2 ms
+// one-way latency.
+func GigabitLAN() Model {
+	return Model{Latency: 200 * time.Microsecond, BandwidthBytesPerSec: 125e6}
+}
+
+// WAN approximates a wide-area link (20 ms, 50 Mb/s), the setting the paper
+// argues benefits even more from reduced message sizes.
+func WAN() Model {
+	return Model{Latency: 20 * time.Millisecond, BandwidthBytesPerSec: 6.25e6}
+}
+
+// TransferTime returns the simulated time to move n bytes one way.
+func (m Model) TransferTime(n int64) time.Duration {
+	d := m.Latency
+	if m.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(n) / m.BandwidthBytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// RoundTrip returns the simulated time for a request/response exchange.
+func (m Model) RoundTrip(reqBytes, respBytes int64) time.Duration {
+	return m.TransferTime(reqBytes) + m.TransferTime(respBytes)
+}

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransferTimeComponents(t *testing.T) {
+	m := Model{Latency: time.Millisecond, BandwidthBytesPerSec: 1000}
+	if got := m.TransferTime(0); got != time.Millisecond {
+		t.Errorf("zero bytes = %v, want pure latency", got)
+	}
+	// 1000 bytes at 1000 B/s = 1 s + 1 ms latency.
+	if got := m.TransferTime(1000); got != time.Second+time.Millisecond {
+		t.Errorf("1000B = %v", got)
+	}
+}
+
+func TestZeroBandwidthMeansLatencyOnly(t *testing.T) {
+	m := Model{Latency: 5 * time.Millisecond}
+	if got := m.TransferTime(1 << 30); got != 5*time.Millisecond {
+		t.Errorf("bandwidth-free model = %v", got)
+	}
+}
+
+func TestRoundTripIsSumOfTransfers(t *testing.T) {
+	m := GigabitLAN()
+	if m.RoundTrip(100, 200) != m.TransferTime(100)+m.TransferTime(200) {
+		t.Error("RoundTrip must be the sum of both directions")
+	}
+}
+
+func TestPresetsOrdering(t *testing.T) {
+	lan, wan := GigabitLAN(), WAN()
+	if lan.TransferTime(1<<20) >= wan.TransferTime(1<<20) {
+		t.Error("a WAN transfer must be slower than LAN")
+	}
+	if lan.Latency >= wan.Latency {
+		t.Error("WAN latency exceeds LAN latency")
+	}
+}
+
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	m := GigabitLAN()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.TransferTime(x) <= m.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

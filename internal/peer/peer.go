@@ -1,0 +1,289 @@
+// Package peer assembles the full distributed XQuery system: peers hosting
+// XML documents behind XRPC endpoints, a federation (Network) connecting
+// them, and query sessions that decompose and execute queries under any of
+// the paper's four strategies (data-shipping, pass-by-value,
+// pass-by-fragment, pass-by-projection), collecting the bandwidth and time
+// metrics the evaluation section reports.
+package peer
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distxq/internal/core"
+	"distxq/internal/eval"
+	"distxq/internal/netsim"
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+	"distxq/internal/xrpc"
+)
+
+// Peer is one XQuery engine owning a set of documents and serving XRPC.
+type Peer struct {
+	Name string
+
+	mu    sync.RWMutex
+	store map[string]*xdm.Document
+
+	Engine *eval.Engine
+	Server *xrpc.Server
+	net    *Network
+}
+
+// Network is a federation of peers connected by an in-memory transport and
+// a simulated link model.
+type Network struct {
+	Transport *xrpc.InMemoryTransport
+	Model     netsim.Model
+
+	mu    sync.RWMutex
+	peers map[string]*Peer
+}
+
+// NewNetwork creates an empty federation with the paper's 1 Gb/s LAN model.
+func NewNetwork() *Network {
+	return &Network{
+		Transport: xrpc.NewInMemoryTransport(),
+		Model:     netsim.GigabitLAN(),
+		peers:     map[string]*Peer{},
+	}
+}
+
+// AddPeer creates a peer, registers its XRPC endpoint, and returns it.
+func (n *Network) AddPeer(name string) *Peer {
+	p := &Peer{Name: name, store: map[string]*xdm.Document{}, net: n}
+	p.Engine = eval.NewEngine(&peerResolver{peer: p})
+	p.Server = &xrpc.Server{Engine: p.Engine}
+	n.Transport.Register(name, p.Server)
+	n.mu.Lock()
+	n.peers[name] = p
+	n.mu.Unlock()
+	return p
+}
+
+// Peer returns a registered peer by name.
+func (n *Network) Peer(name string) (*Peer, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	p, ok := n.peers[name]
+	return p, ok
+}
+
+// LoadXML parses and stores a document under the given path.
+func (p *Peer) LoadXML(path, xmlText string) error {
+	d, err := xdm.ParseString(xmlText, "xrpc://"+p.Name+"/"+path)
+	if err != nil {
+		return err
+	}
+	p.AddDoc(path, d)
+	return nil
+}
+
+// AddDoc stores a pre-built document under the given path.
+func (p *Peer) AddDoc(path string, d *xdm.Document) {
+	p.mu.Lock()
+	p.store[path] = d
+	p.mu.Unlock()
+}
+
+// Doc fetches a stored document.
+func (p *Peer) Doc(path string) (*xdm.Document, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	d, ok := p.store[path]
+	return d, ok
+}
+
+// DocSize returns the serialized size of a stored document in bytes.
+func (p *Peer) DocSize(path string) int64 {
+	d, ok := p.Doc(path)
+	if !ok {
+		return 0
+	}
+	return xdm.SerializedSize(d.Root)
+}
+
+// peerResolver resolves doc() URIs on a peer: xrpc:// URIs naming this peer
+// hit the local store; other xrpc:// URIs fall back to data shipping (fetch
+// the serialized remote document and shred it); plain paths are local.
+type peerResolver struct {
+	peer *Peer
+	// shipStats, when non-nil, accounts data-shipping costs (set on the
+	// session-local resolver).
+	shipStats *shipStats
+}
+
+type shipStats struct {
+	bytes   atomic.Int64
+	shredNS atomic.Int64
+}
+
+func (r *peerResolver) ResolveDoc(uri string) (*xdm.Document, error) {
+	if host, ok := core.XRPCHost(uri); ok {
+		path := strings.TrimPrefix(uri, "xrpc://"+host+"/")
+		if host == r.peer.Name {
+			d, found := r.peer.Doc(path)
+			if !found {
+				return nil, fmt.Errorf("peer %s: no document %q", r.peer.Name, path)
+			}
+			return d, nil
+		}
+		// Data shipping: transfer the whole remote document (the W3C
+		// fn:doc execution model) and shred it locally.
+		remote, found := r.peer.net.Peer(host)
+		if !found {
+			return nil, fmt.Errorf("peer %s: unknown peer %q in %q", r.peer.Name, host, uri)
+		}
+		rd, found := remote.Doc(path)
+		if !found {
+			return nil, fmt.Errorf("peer %s: no document %q", host, path)
+		}
+		xmlText := xdm.SerializeString(rd.Root)
+		t0 := time.Now()
+		d, err := xdm.ParseString(xmlText, uri)
+		if err != nil {
+			return nil, err
+		}
+		if r.shipStats != nil {
+			r.shipStats.bytes.Add(int64(len(xmlText)))
+			r.shipStats.shredNS.Add(time.Since(t0).Nanoseconds())
+		}
+		return d, nil
+	}
+	d, found := r.peer.Doc(uri)
+	if !found {
+		return nil, fmt.Errorf("peer %s: no document %q", r.peer.Name, uri)
+	}
+	return d, nil
+}
+
+// Report is the per-query measurement record used to regenerate the
+// evaluation figures.
+type Report struct {
+	Strategy core.Strategy
+	// DocBytes counts whole documents transferred by data shipping.
+	DocBytes int64
+	// MsgBytes counts XRPC request+response message bytes.
+	MsgBytes int64
+	// Requests counts message exchanges (Bulk RPC counts once).
+	Requests int64
+	// Phase times (Figure 8 breakdown).
+	ShredNS      int64 // receiving+shredding shipped documents
+	LocalExecNS  int64 // local evaluation (excludes the other phases)
+	SerdeNS      int64 // client+server message (de)serialization
+	RemoteExecNS int64 // remote function evaluation
+	NetworkNS    int64 // simulated transfer time of all bytes moved
+}
+
+// TotalBytes is the Figure 7 metric: documents plus messages.
+func (r *Report) TotalBytes() int64 { return r.DocBytes + r.MsgBytes }
+
+// TotalNS is the Figure 9 metric: the full simulated query time.
+func (r *Report) TotalNS() int64 {
+	return r.ShredNS + r.LocalExecNS + r.SerdeNS + r.RemoteExecNS + r.NetworkNS
+}
+
+// Session executes queries from an originator peer under one strategy.
+type Session struct {
+	Strategy core.Strategy
+	Origin   *Peer
+	net      *Network
+}
+
+// NewSession creates a query session originating at the given peer (the
+// peer may own no documents; it is the "local peer" of the paper).
+func (n *Network) NewSession(origin *Peer, strat core.Strategy) *Session {
+	return &Session{Strategy: strat, Origin: origin, net: n}
+}
+
+func semanticsOf(s core.Strategy) xrpc.Semantics {
+	switch s {
+	case core.ByFragment:
+		return xrpc.ByFragment
+	case core.ByProjection:
+		return xrpc.ByProjection
+	default:
+		return xrpc.ByValue
+	}
+}
+
+// Query decomposes and executes query source text, returning the result and
+// the measurement report.
+func (s *Session) Query(src string) (xdm.Sequence, *Report, error) {
+	q, err := xq.ParseQuery(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.QueryParsed(q)
+}
+
+// QueryParsed decomposes and executes a parsed query.
+func (s *Session) QueryParsed(q *xq.Query) (xdm.Sequence, *Report, error) {
+	plan, err := core.Decompose(q, s.Strategy, core.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.execPlan(plan)
+}
+
+// ExecutePlan runs an already-decomposed plan (used by the ablation
+// benchmarks that tweak decomposition options).
+func (s *Session) ExecutePlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
+	return s.execPlan(plan)
+}
+
+func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
+	ship := &shipStats{}
+	engine := eval.NewEngine(&peerResolver{peer: s.Origin, shipStats: ship})
+	metrics := &xrpc.Metrics{}
+	if s.Strategy != core.DataShipping {
+		engine.Remote = &xrpc.Client{
+			Transport: s.net.Transport,
+			Semantics: semanticsOf(s.Strategy),
+			Static:    engine.Static,
+			Relatives: plan.Relatives,
+			Metrics:   metrics,
+		}
+	}
+	t0 := time.Now()
+	res, err := engine.Query(plan.Query)
+	wallNS := time.Since(t0).Nanoseconds()
+	if err != nil {
+		return nil, nil, err
+	}
+	m := metrics.Snapshot()
+	rep := &Report{
+		Strategy:     plan.Strategy,
+		DocBytes:     ship.bytes.Load(),
+		MsgBytes:     m.BytesSent + m.BytesReceived,
+		Requests:     m.Requests,
+		ShredNS:      ship.shredNS.Load(),
+		SerdeNS:      m.SerializeNS + m.DeserializeNS + m.ServerSerdeNS,
+		RemoteExecNS: m.RemoteExecNS,
+	}
+	// Local execution is what remains of wall time after the accounted
+	// phases (message serde and remote exec happen within the wall).
+	local := wallNS - rep.ShredNS - rep.SerdeNS - rep.RemoteExecNS
+	if local < 0 {
+		local = 0
+	}
+	rep.LocalExecNS = local
+	// Simulated network: every byte moved crosses the modeled link; each
+	// message exchange pays a round trip of latency, each shipped document
+	// one transfer.
+	netNS := int64(0)
+	if rep.DocBytes > 0 {
+		netNS += s.net.Model.TransferTime(rep.DocBytes).Nanoseconds()
+	}
+	if m.Requests > 0 {
+		netNS += 2 * s.net.Model.Latency.Nanoseconds() * m.Requests
+		if bw := s.net.Model.BandwidthBytesPerSec; bw > 0 {
+			netNS += int64(float64(m.BytesSent+m.BytesReceived) / bw * 1e9)
+		}
+	}
+	rep.NetworkNS = netNS
+	return res, rep, nil
+}

@@ -1,0 +1,41 @@
+package projection
+
+import (
+	"distxq/internal/xdm"
+)
+
+// CompileTimeProject is the Marian & Siméon-style baseline used by the
+// Figure 10/11 experiments: absolute projection paths (no predicates, no
+// runtime context) are evaluated from the document root to over-estimate the
+// used and returned node sets, which then feed the same projection builder.
+// Because compile-time paths cannot express selections, the node sets — and
+// therefore the projected documents — are much larger than what the runtime
+// technique produces.
+func CompileTimeProject(usedPaths, returnedPaths PathSet, doc *xdm.Document, opt Options) (*Projected, error) {
+	ctx := []*xdm.Node{doc.Root}
+	u := EvalPaths(ctx, stripDocs(usedPaths))
+	r := EvalPaths(ctx, stripDocs(returnedPaths))
+	return Project(u, r, doc, opt)
+}
+
+// RuntimeProject evaluates relative paths against a materialized runtime
+// context sequence (e.g. the values about to be serialized into a message)
+// and projects the document: the §VI-B runtime technique. The context nodes
+// themselves are always part of the returned set — they are the values being
+// shipped.
+func RuntimeProject(ctx []*xdm.Node, usedPaths, returnedPaths PathSet, doc *xdm.Document, opt Options) (*Projected, error) {
+	u := EvalPaths(ctx, usedPaths)
+	r := EvalPaths(ctx, returnedPaths)
+	r = xdm.SortDocOrder(append(r, ctx...))
+	return Project(u, r, doc, opt)
+}
+
+// stripDocs drops the doc(...) prefixes so the steps apply from a document
+// root context.
+func stripDocs(ps PathSet) PathSet {
+	var out PathSet
+	for _, p := range ps {
+		out = out.Add(Path{Steps: p.Steps})
+	}
+	return out
+}

@@ -1,0 +1,471 @@
+// Package xdm implements the XQuery Data Model subset needed for distributed
+// XQuery processing: XML documents and nodes with stable identity and global
+// document order, atomic values, and sequences.
+//
+// Nodes are identified by pointer: two *Node values are the same XML node
+// exactly when the pointers are equal. Document order is total across all
+// documents in a process: nodes within one document are ordered by preorder
+// rank, and documents are ordered by creation sequence, matching the
+// implementation-defined but stable inter-document ordering that XQuery
+// requires.
+package xdm
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Kind enumerates the node kinds of the data model.
+type Kind uint8
+
+const (
+	// DocumentNode is the invisible root above the document element.
+	DocumentNode Kind = iota
+	// ElementNode is an XML element.
+	ElementNode
+	// AttributeNode is an attribute; it lives in its owner's Attrs list.
+	AttributeNode
+	// TextNode is character data.
+	TextNode
+	// CommentNode is an XML comment.
+	CommentNode
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DocumentNode:
+		return "document"
+	case ElementNode:
+		return "element"
+	case AttributeNode:
+		return "attribute"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// docSeq hands out the global inter-document ordering.
+var docSeq atomic.Uint64
+
+// Document owns a tree of nodes. All nodes of a document share its identity
+// for order comparisons; a document is immutable once frozen.
+type Document struct {
+	// URI is the document URI (what fn:document-uri reports). For trees
+	// created by element constructors it is an artificial constructor URI.
+	URI string
+	// Root is the DocumentNode at the top of the tree.
+	Root *Node
+
+	seq    uint64
+	frozen bool
+	nnodes int
+}
+
+// NewDocument creates an empty document with the given URI. The caller
+// attaches children to doc.Root and must call Freeze before using document
+// order.
+func NewDocument(uri string) *Document {
+	d := &Document{URI: uri, seq: docSeq.Add(1)}
+	d.Root = &Node{Kind: DocumentNode, Doc: d}
+	return d
+}
+
+// Seq returns the global creation sequence number used to order nodes from
+// different documents.
+func (d *Document) Seq() uint64 { return d.seq }
+
+// Frozen reports whether Freeze has been called.
+func (d *Document) Frozen() bool { return d.frozen }
+
+// NodeCount returns the number of nodes in the frozen document (including the
+// document node and attributes).
+func (d *Document) NodeCount() int { return d.nnodes }
+
+// DocElem returns the document element (first element child of the document
+// node), or nil for an empty document.
+func (d *Document) DocElem() *Node {
+	for _, c := range d.Root.Children {
+		if c.Kind == ElementNode {
+			return c
+		}
+	}
+	return nil
+}
+
+// Freeze assigns preorder ranks to every node and marks the tree immutable.
+// It must be called after construction and before any document-order
+// comparison. Freeze is idempotent.
+func (d *Document) Freeze() {
+	if d.frozen {
+		return
+	}
+	pre := int32(0)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.pre = pre
+		pre++
+		n.Doc = d
+		for _, a := range n.Attrs {
+			a.pre = pre
+			pre++
+			a.Doc = d
+			a.Parent = n
+		}
+		for _, c := range n.Children {
+			c.Parent = n
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	d.nnodes = int(pre)
+	d.frozen = true
+}
+
+// Node is a single XML node. The zero value is not usable; create nodes with
+// the NewX constructors or via Parse.
+type Node struct {
+	Kind Kind
+	// Name is the qualified name for elements and attributes ("a", "ns:a").
+	Name string
+	// Text holds character data for text and comment nodes, and the value
+	// for attribute nodes.
+	Text string
+
+	Parent   *Node
+	Children []*Node
+	Attrs    []*Node
+	Doc      *Document
+
+	// BaseURI optionally overrides the document URI for fn:base-uri; XRPC
+	// sets it on shipped parameter nodes (Problem 5, class 2).
+	BaseURI string
+
+	pre int32
+}
+
+// NewElement returns a detached element node.
+func NewElement(name string) *Node { return &Node{Kind: ElementNode, Name: name} }
+
+// NewText returns a detached text node.
+func NewText(s string) *Node { return &Node{Kind: TextNode, Text: s} }
+
+// NewComment returns a detached comment node.
+func NewComment(s string) *Node { return &Node{Kind: CommentNode, Text: s} }
+
+// NewAttr returns a detached attribute node.
+func NewAttr(name, value string) *Node {
+	return &Node{Kind: AttributeNode, Name: name, Text: value}
+}
+
+// AppendChild attaches c as the last child of n. The tree must not be frozen.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// SetAttr attaches an attribute node, replacing an existing attribute with
+// the same name.
+func (n *Node) SetAttr(name, value string) *Node {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			a.Text = value
+			return n
+		}
+	}
+	a := NewAttr(name, value)
+	a.Parent = n
+	n.Attrs = append(n.Attrs, a)
+	return n
+}
+
+// Attr returns the attribute node with the given name, or nil.
+func (n *Node) Attr(name string) *Node {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pre returns the preorder rank of n within its frozen document.
+func (n *Node) Pre() int32 { return n.pre }
+
+// RootNode returns the topmost node reachable via Parent (the document node
+// for attached trees). This is what fn:root returns.
+func (n *Node) RootNode() *Node {
+	r := n
+	for r.Parent != nil {
+		r = r.Parent
+	}
+	return r
+}
+
+// StringValue returns the typed-value string of the node: concatenated
+// descendant text for documents and elements, the literal text for others.
+func (n *Node) StringValue() string {
+	switch n.Kind {
+	case TextNode, CommentNode, AttributeNode:
+		return n.Text
+	default:
+		var sb strings.Builder
+		n.appendText(&sb)
+		return sb.String()
+	}
+}
+
+func (n *Node) appendText(sb *strings.Builder) {
+	for _, c := range n.Children {
+		switch c.Kind {
+		case TextNode:
+			sb.WriteString(c.Text)
+		case ElementNode:
+			c.appendText(sb)
+		}
+	}
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for p := m.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDescendantOrSelf reports whether n is m or a descendant of m.
+func (n *Node) IsDescendantOrSelf(m *Node) bool {
+	return n == m || m.IsAncestorOf(n)
+}
+
+// Compare orders two nodes in global document order: negative when n comes
+// before m, zero only when n == m. Both documents must be frozen.
+func Compare(n, m *Node) int {
+	if n == m {
+		return 0
+	}
+	if n.Doc == m.Doc {
+		switch {
+		case n.pre < m.pre:
+			return -1
+		case n.pre > m.pre:
+			return 1
+		default:
+			return 0
+		}
+	}
+	var a, b uint64
+	if n.Doc != nil {
+		a = n.Doc.seq
+	}
+	if m.Doc != nil {
+		b = m.Doc.seq
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Following returns the next node after n in document order that is not a
+// descendant of n, or nil at the end of the document. Attribute nodes are
+// skipped (they are not part of the descendant axis).
+func (n *Node) Following() *Node {
+	cur := n
+	if cur.Kind == AttributeNode {
+		cur = cur.Parent
+		if len(cur.Children) > 0 {
+			return cur.Children[0]
+		}
+	}
+	for cur != nil {
+		p := cur.Parent
+		if p == nil {
+			return nil
+		}
+		idx := -1
+		for i, c := range p.Children {
+			if c == cur {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 && idx+1 < len(p.Children) {
+			return p.Children[idx+1]
+		}
+		cur = p
+	}
+	return nil
+}
+
+// NextInDocument returns the next node in document order (first child if any,
+// else next following), excluding attributes.
+func (n *Node) NextInDocument() *Node {
+	if n.Kind != AttributeNode && len(n.Children) > 0 {
+		return n.Children[0]
+	}
+	return n.Following()
+}
+
+// WalkDescendants visits n and all its descendants (excluding attributes) in
+// document order, stopping early if f returns false.
+func (n *Node) WalkDescendants(f func(*Node) bool) bool {
+	if !f(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.WalkDescendants(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// DescendantOrSelfIndex returns the 1-based position of target within the
+// document-order sequence descendant-or-self::node() of n (attributes
+// excluded), or 0 when target is not in that sequence. This numbering is the
+// nodeid used by the pass-by-fragment XRPC message format.
+func (n *Node) DescendantOrSelfIndex(target *Node) int {
+	idx := 0
+	found := 0
+	n.WalkDescendants(func(m *Node) bool {
+		idx++
+		if m == target {
+			found = idx
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// NthDescendantOrSelf returns the idx-th (1-based) node of
+// descendant-or-self::node() of n in document order, or nil.
+func (n *Node) NthDescendantOrSelf(idx int) *Node {
+	if idx <= 0 {
+		return nil
+	}
+	i := 0
+	var res *Node
+	n.WalkDescendants(func(m *Node) bool {
+		i++
+		if i == idx {
+			res = m
+			return false
+		}
+		return true
+	})
+	return res
+}
+
+// LCA returns the lowest common ancestor of the given nodes (all from one
+// tree). It returns nil for an empty input.
+func LCA(nodes []*Node) *Node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	anc := func(n *Node) []*Node {
+		var path []*Node
+		for p := n; p != nil; p = p.Parent {
+			path = append(path, p)
+		}
+		// reverse: root first
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		return path
+	}
+	common := anc(nodes[0])
+	for _, n := range nodes[1:] {
+		p := anc(n)
+		k := 0
+		for k < len(common) && k < len(p) && common[k] == p[k] {
+			k++
+		}
+		common = common[:k]
+		if len(common) == 0 {
+			return nil
+		}
+	}
+	return common[len(common)-1]
+}
+
+// Copy returns a deep copy of the subtree rooted at n as a detached node
+// (Parent nil, Doc nil). Attribute nodes copy as standalone attributes.
+func (n *Node) Copy() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text, BaseURI: n.BaseURI}
+	for _, a := range n.Attrs {
+		ca := &Node{Kind: AttributeNode, Name: a.Name, Text: a.Text, Parent: c}
+		c.Attrs = append(c.Attrs, ca)
+	}
+	for _, ch := range n.Children {
+		cc := ch.Copy()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// CopyToDocument deep-copies n into a fresh frozen document with the given
+// URI and returns the copy of n within it. This implements the node copying
+// of XQuery element constructors and of pass-by-value shipping.
+func CopyToDocument(n *Node, uri string) *Node {
+	d := NewDocument(uri)
+	c := n.Copy()
+	d.Root.AppendChild(c)
+	d.Freeze()
+	return c
+}
+
+// SortDocOrder sorts nodes in place by global document order and removes
+// duplicates (by identity), implementing the distinct-doc-order postcondition
+// of XPath steps.
+func SortDocOrder(nodes []*Node) []*Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	// insertion of small inputs dominates in path evaluation; use a simple
+	// merge sort on larger ones for stability and O(n log n).
+	sorted := mergeSortNodes(nodes)
+	out := sorted[:1]
+	for _, n := range sorted[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func mergeSortNodes(nodes []*Node) []*Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	mid := len(nodes) / 2
+	left := mergeSortNodes(append([]*Node(nil), nodes[:mid]...))
+	right := mergeSortNodes(append([]*Node(nil), nodes[mid:]...))
+	out := make([]*Node, 0, len(nodes))
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		if Compare(left[i], right[j]) <= 0 {
+			out = append(out, left[i])
+			i++
+		} else {
+			out = append(out, right[j])
+			j++
+		}
+	}
+	out = append(out, left[i:]...)
+	out = append(out, right[j:]...)
+	return out
+}

@@ -1,0 +1,95 @@
+package xdm
+
+import (
+	"io"
+	"strings"
+)
+
+// Serialize writes the subtree rooted at n as XML text. Document nodes emit
+// their children; attribute nodes emit name="value" (useful in messages).
+func Serialize(w io.Writer, n *Node) error {
+	sw := &stickyWriter{w: w}
+	serializeNode(sw, n)
+	return sw.err
+}
+
+// SerializeString renders a node subtree to a string.
+func SerializeString(n *Node) string {
+	var sb strings.Builder
+	_ = Serialize(&sb, n)
+	return sb.String()
+}
+
+// SerializedSize returns the number of bytes the subtree serializes to; the
+// benchmark harness uses it to account bandwidth without buffering.
+func SerializedSize(n *Node) int64 {
+	cw := &countWriter{}
+	_ = Serialize(cw, n)
+	return cw.n
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) str(ss string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, ss)
+}
+
+func serializeNode(w *stickyWriter, n *Node) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			serializeNode(w, c)
+		}
+	case ElementNode:
+		w.str("<")
+		w.str(n.Name)
+		for _, a := range n.Attrs {
+			w.str(" ")
+			w.str(a.Name)
+			w.str(`="`)
+			w.str(escapeAttr(a.Text))
+			w.str(`"`)
+		}
+		if len(n.Children) == 0 {
+			w.str("/>")
+			return
+		}
+		w.str(">")
+		for _, c := range n.Children {
+			serializeNode(w, c)
+		}
+		w.str("</")
+		w.str(n.Name)
+		w.str(">")
+	case TextNode:
+		w.str(escapeText(n.Text))
+	case CommentNode:
+		w.str("<!--")
+		w.str(n.Text)
+		w.str("-->")
+	case AttributeNode:
+		w.str(n.Name)
+		w.str(`="`)
+		w.str(escapeAttr(n.Text))
+		w.str(`"`)
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

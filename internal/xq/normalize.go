@@ -1,0 +1,586 @@
+package xq
+
+import (
+	"fmt"
+)
+
+// Normalize rewrites a parsed query into XCore form:
+//
+//   - surface `execute at {u} {f(args)}` calls are converted into the XCore
+//     XRPCExpr form (rule 27) by inlining the declared function f, with each
+//     non-variable argument hoisted into a fresh let binding so all XRPCParams
+//     are plain variable references (rule 28);
+//   - remaining user-defined function calls are checked to exist with the
+//     right arity (they are evaluated by the engine via the prolog).
+//
+// where→if and path-step fusion already happen at parse time. The paper's
+// let-sinking normalization (§IV) lives in internal/core since it is part of
+// the decomposition pipeline.
+func Normalize(q *Query) error {
+	funcs := map[string]*FuncDecl{}
+	for _, f := range q.Funcs {
+		key := fmt.Sprintf("%s/%d", f.Name, len(f.Params))
+		if _, dup := funcs[key]; dup {
+			return fmt.Errorf("xq: duplicate function %s#%d", f.Name, len(f.Params))
+		}
+		funcs[key] = f
+	}
+	n := &normalizer{funcs: funcs}
+	for _, f := range q.Funcs {
+		b, err := n.rewrite(f.Body)
+		if err != nil {
+			return err
+		}
+		f.Body = b
+	}
+	b, err := n.rewrite(q.Body)
+	if err != nil {
+		return err
+	}
+	q.Body = b
+	return nil
+}
+
+type normalizer struct {
+	funcs map[string]*FuncDecl
+	fresh int
+}
+
+func (n *normalizer) freshVar(prefix string) string {
+	n.fresh++
+	return fmt.Sprintf("%s_%d", prefix, n.fresh)
+}
+
+// rewrite returns e with every ExecuteAt converted to XRPCExpr, recursively.
+func (n *normalizer) rewrite(e Expr) (Expr, error) {
+	var err error
+	rw := func(sub Expr) Expr {
+		if err != nil {
+			return sub
+		}
+		var out Expr
+		out, err = n.rewrite(sub)
+		return out
+	}
+	switch v := e.(type) {
+	case *ExecuteAt:
+		return n.rewriteExecuteAt(v)
+	case *ForExpr:
+		v.In = rw(v.In)
+		for i := range v.OrderBy {
+			v.OrderBy[i].Key = rw(v.OrderBy[i].Key)
+		}
+		v.Return = rw(v.Return)
+	case *LetExpr:
+		v.Bind = rw(v.Bind)
+		v.Return = rw(v.Return)
+	case *IfExpr:
+		v.Cond, v.Then, v.Else = rw(v.Cond), rw(v.Then), rw(v.Else)
+	case *QuantifiedExpr:
+		v.In, v.Satisfies = rw(v.In), rw(v.Satisfies)
+	case *TypeswitchExpr:
+		v.Operand = rw(v.Operand)
+		for _, c := range v.Cases {
+			c.Return = rw(c.Return)
+		}
+		v.Default = rw(v.Default)
+	case *CompareExpr:
+		v.Left, v.Right = rw(v.Left), rw(v.Right)
+	case *ArithExpr:
+		v.Left, v.Right = rw(v.Left), rw(v.Right)
+	case *UnaryExpr:
+		v.Operand = rw(v.Operand)
+	case *LogicExpr:
+		v.Left, v.Right = rw(v.Left), rw(v.Right)
+	case *SeqExpr:
+		for i := range v.Items {
+			v.Items[i] = rw(v.Items[i])
+		}
+	case *NodeSetExpr:
+		v.Left, v.Right = rw(v.Left), rw(v.Right)
+	case *PathExpr:
+		if v.Input != nil {
+			v.Input = rw(v.Input)
+		}
+		for _, st := range v.Steps {
+			for i := range st.Preds {
+				st.Preds[i] = rw(st.Preds[i])
+			}
+		}
+	case *ElemConstructor:
+		if v.NameExpr != nil {
+			v.NameExpr = rw(v.NameExpr)
+		}
+		for i := range v.Content {
+			v.Content[i] = rw(v.Content[i])
+		}
+	case *AttrConstructor:
+		if v.NameExpr != nil {
+			v.NameExpr = rw(v.NameExpr)
+		}
+		for i := range v.Value {
+			v.Value[i] = rw(v.Value[i])
+		}
+	case *TextConstructor:
+		v.Content = rw(v.Content)
+	case *DocConstructor:
+		v.Content = rw(v.Content)
+	case *FunCall:
+		for i := range v.Args {
+			v.Args[i] = rw(v.Args[i])
+		}
+	case *XRPCExpr:
+		v.Target = rw(v.Target)
+		v.Body = rw(v.Body)
+	}
+	return e, err
+}
+
+// rewriteExecuteAt converts the surface form into XCore rule 27, inlining the
+// named function body with formals substituted by fresh parameter variables.
+func (n *normalizer) rewriteExecuteAt(x *ExecuteAt) (Expr, error) {
+	target, err := n.rewrite(x.Target)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%d", x.Call.Name, len(x.Call.Args))
+	fd, ok := n.funcs[key]
+	if !ok {
+		return nil, fmt.Errorf("xq: execute at calls undeclared function %s#%d",
+			x.Call.Name, len(x.Call.Args))
+	}
+	if callsItself(fd, n.funcs, map[string]bool{}) {
+		return nil, fmt.Errorf("xq: execute at target %s is (mutually) recursive; "+
+			"XCore rule 27 cannot express recursive remote functions", fd.Name)
+	}
+	out := &XRPCExpr{Target: target, FuncName: fd.Name}
+	// Inline the body of fd under fresh parameter names to avoid capture.
+	subst := map[string]string{}
+	var lets []*LetExpr
+	for i, par := range fd.Params {
+		arg, err := n.rewrite(x.Call.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		pv := n.freshVar("p")
+		subst[par.Name] = pv
+		ref, isVar := arg.(*VarRef)
+		if isVar {
+			out.Params = append(out.Params, &XRPCParam{Name: pv, Ref: ref.Name})
+		} else {
+			// Hoist non-variable argument into a let so rule 28 holds.
+			av := n.freshVar("arg")
+			lets = append(lets, &LetExpr{Var: av, Bind: arg})
+			out.Params = append(out.Params, &XRPCParam{Name: pv, Ref: av})
+		}
+		out.Types = append(out.Types, par.Type)
+	}
+	// Inline any nested calls to declared functions inside the shipped body
+	// (the remote peer receives a self-contained function).
+	body, err := n.inlineCalls(cloneExpr(fd.Body), map[string]bool{fd.Name: true})
+	if err != nil {
+		return nil, err
+	}
+	out.Body = renameVars(body, subst)
+	var res Expr = out
+	for i := len(lets) - 1; i >= 0; i-- {
+		lets[i].Return = res
+		res = lets[i]
+	}
+	return res, nil
+}
+
+// inlineCalls replaces calls to declared functions inside a shipped body by
+// let-bound inlined copies of their bodies.
+func (n *normalizer) inlineCalls(e Expr, inProgress map[string]bool) (Expr, error) {
+	var err error
+	var walkFn func(Expr) Expr
+	walkFn = func(sub Expr) Expr {
+		if err != nil || sub == nil {
+			return sub
+		}
+		if fc, ok := sub.(*FunCall); ok {
+			key := fmt.Sprintf("%s/%d", fc.Name, len(fc.Args))
+			if fd, declared := n.funcs[key]; declared {
+				if inProgress[fd.Name] {
+					err = fmt.Errorf("xq: recursive function %s cannot be shipped remotely", fd.Name)
+					return sub
+				}
+				inProgress[fd.Name] = true
+				body, ierr := n.inlineCalls(cloneExpr(fd.Body), inProgress)
+				delete(inProgress, fd.Name)
+				if ierr != nil {
+					err = ierr
+					return sub
+				}
+				subst := map[string]string{}
+				var lets []*LetExpr
+				for i, par := range fd.Params {
+					av := n.freshVar("inl")
+					subst[par.Name] = av
+					lets = append(lets, &LetExpr{Var: av, Bind: walkFn(fc.Args[i])})
+				}
+				var out Expr = renameVars(body, subst)
+				for i := len(lets) - 1; i >= 0; i-- {
+					lets[i].Return = out
+					out = lets[i]
+				}
+				return out
+			}
+		}
+		return mapChildren(sub, walkFn)
+	}
+	out := walkFn(e)
+	return out, err
+}
+
+func callsItself(fd *FuncDecl, funcs map[string]*FuncDecl, seen map[string]bool) bool {
+	if seen[fd.Name] {
+		return true
+	}
+	seen[fd.Name] = true
+	defer delete(seen, fd.Name)
+	found := false
+	Walk(fd.Body, func(e Expr) bool {
+		if fc, ok := e.(*FunCall); ok {
+			key := fmt.Sprintf("%s/%d", fc.Name, len(fc.Args))
+			if callee, declared := funcs[key]; declared {
+				if callee.Name == fd.Name || callsItself(callee, funcs, seen) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mapChildren applies f to every direct child expression of e, in place, and
+// returns e. It is the generic rewriting helper shared by normalization and
+// decomposition passes.
+func mapChildren(e Expr, f func(Expr) Expr) Expr {
+	switch v := e.(type) {
+	case *ForExpr:
+		v.In = f(v.In)
+		for i := range v.OrderBy {
+			v.OrderBy[i].Key = f(v.OrderBy[i].Key)
+		}
+		v.Return = f(v.Return)
+	case *LetExpr:
+		v.Bind, v.Return = f(v.Bind), f(v.Return)
+	case *IfExpr:
+		v.Cond, v.Then, v.Else = f(v.Cond), f(v.Then), f(v.Else)
+	case *QuantifiedExpr:
+		v.In, v.Satisfies = f(v.In), f(v.Satisfies)
+	case *TypeswitchExpr:
+		v.Operand = f(v.Operand)
+		for _, c := range v.Cases {
+			c.Return = f(c.Return)
+		}
+		v.Default = f(v.Default)
+	case *CompareExpr:
+		v.Left, v.Right = f(v.Left), f(v.Right)
+	case *ArithExpr:
+		v.Left, v.Right = f(v.Left), f(v.Right)
+	case *UnaryExpr:
+		v.Operand = f(v.Operand)
+	case *LogicExpr:
+		v.Left, v.Right = f(v.Left), f(v.Right)
+	case *SeqExpr:
+		for i := range v.Items {
+			v.Items[i] = f(v.Items[i])
+		}
+	case *NodeSetExpr:
+		v.Left, v.Right = f(v.Left), f(v.Right)
+	case *PathExpr:
+		if v.Input != nil {
+			v.Input = f(v.Input)
+		}
+		for _, st := range v.Steps {
+			for i := range st.Preds {
+				st.Preds[i] = f(st.Preds[i])
+			}
+		}
+	case *ElemConstructor:
+		if v.NameExpr != nil {
+			v.NameExpr = f(v.NameExpr)
+		}
+		for i := range v.Content {
+			v.Content[i] = f(v.Content[i])
+		}
+	case *AttrConstructor:
+		if v.NameExpr != nil {
+			v.NameExpr = f(v.NameExpr)
+		}
+		for i := range v.Value {
+			v.Value[i] = f(v.Value[i])
+		}
+	case *TextConstructor:
+		v.Content = f(v.Content)
+	case *DocConstructor:
+		v.Content = f(v.Content)
+	case *FunCall:
+		for i := range v.Args {
+			v.Args[i] = f(v.Args[i])
+		}
+	case *ExecuteAt:
+		v.Target = f(v.Target)
+		for i := range v.Call.Args {
+			v.Call.Args[i] = f(v.Call.Args[i])
+		}
+	case *XRPCExpr:
+		v.Target, v.Body = f(v.Target), f(v.Body)
+	}
+	return e
+}
+
+// renameVars substitutes free variable names in e according to subst,
+// respecting shadowing by binders.
+func renameVars(e Expr, subst map[string]string) Expr {
+	if len(subst) == 0 {
+		return e
+	}
+	var rn func(Expr, map[string]string) Expr
+	rn = func(x Expr, s map[string]string) Expr {
+		switch v := x.(type) {
+		case *VarRef:
+			if nn, ok := s[v.Name]; ok {
+				return &VarRef{Name: nn}
+			}
+			return v
+		case *ForExpr:
+			v.In = rn(v.In, s)
+			inner := without(s, v.Var)
+			for i := range v.OrderBy {
+				v.OrderBy[i].Key = rn(v.OrderBy[i].Key, inner)
+			}
+			v.Return = rn(v.Return, inner)
+			return v
+		case *LetExpr:
+			v.Bind = rn(v.Bind, s)
+			v.Return = rn(v.Return, without(s, v.Var))
+			return v
+		case *QuantifiedExpr:
+			v.In = rn(v.In, s)
+			v.Satisfies = rn(v.Satisfies, without(s, v.Var))
+			return v
+		case *TypeswitchExpr:
+			v.Operand = rn(v.Operand, s)
+			for _, c := range v.Cases {
+				c.Return = rn(c.Return, without(s, c.Var))
+			}
+			v.Default = rn(v.Default, without(s, v.DefaultVar))
+			return v
+		case *XRPCExpr:
+			v.Target = rn(v.Target, s)
+			// Params reference outer scope; the body's scope is its params.
+			for _, par := range v.Params {
+				if nn, ok := s[par.Ref]; ok {
+					par.Ref = nn
+				}
+			}
+			inner := s
+			for _, par := range v.Params {
+				inner = without(inner, par.Name)
+			}
+			v.Body = rn(v.Body, inner)
+			return v
+		default:
+			return mapChildren(x, func(c Expr) Expr { return rn(c, s) })
+		}
+	}
+	return rn(e, subst)
+}
+
+func without(s map[string]string, name string) map[string]string {
+	if name == "" {
+		return s
+	}
+	if _, ok := s[name]; !ok {
+		return s
+	}
+	out := make(map[string]string, len(s))
+	for k, v := range s {
+		if k != name {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// cloneExpr deep-copies an expression tree.
+func cloneExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		c := *v
+		return &c
+	case *VarRef:
+		c := *v
+		return &c
+	case *ContextItem:
+		return &ContextItem{}
+	case *RootExpr:
+		return &RootExpr{}
+	case *ForExpr:
+		c := &ForExpr{Var: v.Var, In: cloneExpr(v.In), Return: cloneExpr(v.Return)}
+		for _, s := range v.OrderBy {
+			c.OrderBy = append(c.OrderBy, OrderSpec{Key: cloneExpr(s.Key), Descending: s.Descending})
+		}
+		return c
+	case *LetExpr:
+		return &LetExpr{Var: v.Var, Bind: cloneExpr(v.Bind), Return: cloneExpr(v.Return)}
+	case *IfExpr:
+		return &IfExpr{Cond: cloneExpr(v.Cond), Then: cloneExpr(v.Then), Else: cloneExpr(v.Else)}
+	case *QuantifiedExpr:
+		return &QuantifiedExpr{Every: v.Every, Var: v.Var, In: cloneExpr(v.In), Satisfies: cloneExpr(v.Satisfies)}
+	case *TypeswitchExpr:
+		c := &TypeswitchExpr{Operand: cloneExpr(v.Operand), DefaultVar: v.DefaultVar, Default: cloneExpr(v.Default)}
+		for _, cs := range v.Cases {
+			c.Cases = append(c.Cases, &TSCase{Var: cs.Var, Type: cs.Type, Return: cloneExpr(cs.Return)})
+		}
+		return c
+	case *CompareExpr:
+		return &CompareExpr{Op: v.Op, Left: cloneExpr(v.Left), Right: cloneExpr(v.Right)}
+	case *ArithExpr:
+		return &ArithExpr{Op: v.Op, Left: cloneExpr(v.Left), Right: cloneExpr(v.Right)}
+	case *UnaryExpr:
+		return &UnaryExpr{Neg: v.Neg, Operand: cloneExpr(v.Operand)}
+	case *LogicExpr:
+		return &LogicExpr{And: v.And, Left: cloneExpr(v.Left), Right: cloneExpr(v.Right)}
+	case *SeqExpr:
+		c := &SeqExpr{}
+		for _, it := range v.Items {
+			c.Items = append(c.Items, cloneExpr(it))
+		}
+		return c
+	case *NodeSetExpr:
+		return &NodeSetExpr{Op: v.Op, Left: cloneExpr(v.Left), Right: cloneExpr(v.Right)}
+	case *PathExpr:
+		c := &PathExpr{}
+		if v.Input != nil {
+			c.Input = cloneExpr(v.Input)
+		}
+		for _, st := range v.Steps {
+			ns := &Step{Axis: st.Axis, Test: st.Test, Filter: st.Filter}
+			for _, pr := range st.Preds {
+				ns.Preds = append(ns.Preds, cloneExpr(pr))
+			}
+			c.Steps = append(c.Steps, ns)
+		}
+		return c
+	case *ElemConstructor:
+		c := &ElemConstructor{Name: v.Name}
+		if v.NameExpr != nil {
+			c.NameExpr = cloneExpr(v.NameExpr)
+		}
+		for _, ct := range v.Content {
+			c.Content = append(c.Content, cloneExpr(ct))
+		}
+		return c
+	case *AttrConstructor:
+		c := &AttrConstructor{Name: v.Name}
+		if v.NameExpr != nil {
+			c.NameExpr = cloneExpr(v.NameExpr)
+		}
+		for _, ct := range v.Value {
+			c.Value = append(c.Value, cloneExpr(ct))
+		}
+		return c
+	case *TextConstructor:
+		return &TextConstructor{Content: cloneExpr(v.Content)}
+	case *DocConstructor:
+		return &DocConstructor{Content: cloneExpr(v.Content)}
+	case *FunCall:
+		c := &FunCall{Name: v.Name}
+		for _, a := range v.Args {
+			c.Args = append(c.Args, cloneExpr(a))
+		}
+		return c
+	case *ExecuteAt:
+		return &ExecuteAt{Target: cloneExpr(v.Target), Call: cloneExpr(v.Call).(*FunCall)}
+	case *XRPCExpr:
+		c := &XRPCExpr{Target: cloneExpr(v.Target), Body: cloneExpr(v.Body), FuncName: v.FuncName}
+		for _, par := range v.Params {
+			cp := *par
+			c.Params = append(c.Params, &cp)
+		}
+		c.Types = append(c.Types, v.Types...)
+		return c
+	}
+	return e
+}
+
+// CloneExpr is the exported deep copy used by the decomposer.
+func CloneExpr(e Expr) Expr { return cloneExpr(e) }
+
+// RenameFreeVars is the exported capture-aware variable renaming used by the
+// decomposer (code motion introduces fresh parameter variables).
+func RenameFreeVars(e Expr, subst map[string]string) Expr { return renameVars(e, subst) }
+
+// FreeVars returns the names of variables that occur free in e.
+func FreeVars(e Expr) map[string]bool {
+	out := map[string]bool{}
+	var walkFree func(Expr, map[string]bool)
+	walkFree = func(x Expr, bound map[string]bool) {
+		switch v := x.(type) {
+		case nil:
+			return
+		case *VarRef:
+			if !bound[v.Name] {
+				out[v.Name] = true
+			}
+		case *ForExpr:
+			walkFree(v.In, bound)
+			inner := withBound(bound, v.Var)
+			for _, s := range v.OrderBy {
+				walkFree(s.Key, inner)
+			}
+			walkFree(v.Return, inner)
+		case *LetExpr:
+			walkFree(v.Bind, bound)
+			walkFree(v.Return, withBound(bound, v.Var))
+		case *QuantifiedExpr:
+			walkFree(v.In, bound)
+			walkFree(v.Satisfies, withBound(bound, v.Var))
+		case *TypeswitchExpr:
+			walkFree(v.Operand, bound)
+			for _, c := range v.Cases {
+				walkFree(c.Return, withBound(bound, c.Var))
+			}
+			walkFree(v.Default, withBound(bound, v.DefaultVar))
+		case *XRPCExpr:
+			walkFree(v.Target, bound)
+			for _, par := range v.Params {
+				if !bound[par.Ref] {
+					out[par.Ref] = true
+				}
+			}
+			inner := bound
+			for _, par := range v.Params {
+				inner = withBound(inner, par.Name)
+			}
+			walkFree(v.Body, inner)
+		default:
+			for _, c := range Children(x) {
+				walkFree(c, bound)
+			}
+		}
+	}
+	walkFree(e, map[string]bool{})
+	return out
+}
+
+func withBound(bound map[string]bool, name string) map[string]bool {
+	if name == "" || bound[name] {
+		return bound
+	}
+	nb := make(map[string]bool, len(bound)+1)
+	for k := range bound {
+		nb[k] = true
+	}
+	nb[name] = true
+	return nb
+}

@@ -1,0 +1,190 @@
+package xrpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distxq/internal/eval"
+	"distxq/internal/projection"
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// Metrics accumulates per-exchange measurements used by the benchmark
+// harness to reproduce the paper's bandwidth and time-breakdown figures.
+type Metrics struct {
+	mu            sync.Mutex
+	Requests      int64
+	BytesSent     int64
+	BytesReceived int64
+	SerializeNS   int64 // client-side marshal time
+	DeserializeNS int64 // client-side shred time
+	RemoteExecNS  int64 // as reported by the server
+	ServerSerdeNS int64 // server-side (de)serialization, as reported
+	RoundTripWall int64 // wall time of Transport.RoundTrip
+}
+
+// Add accumulates another metrics snapshot.
+func (m *Metrics) Add(o *Metrics) {
+	if m == nil || o == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Requests += o.Requests
+	m.BytesSent += o.BytesSent
+	m.BytesReceived += o.BytesReceived
+	m.SerializeNS += o.SerializeNS
+	m.DeserializeNS += o.DeserializeNS
+	m.RemoteExecNS += o.RemoteExecNS
+	m.ServerSerdeNS += o.ServerSerdeNS
+	m.RoundTripWall += o.RoundTripWall
+}
+
+// Reset zeroes the metrics.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	*m = Metrics{}
+}
+
+// Snapshot returns a copy for reading.
+func (m *Metrics) Snapshot() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Requests: m.Requests, BytesSent: m.BytesSent, BytesReceived: m.BytesReceived,
+		SerializeNS: m.SerializeNS, DeserializeNS: m.DeserializeNS,
+		RemoteExecNS: m.RemoteExecNS, ServerSerdeNS: m.ServerSerdeNS,
+		RoundTripWall: m.RoundTripWall,
+	}
+}
+
+var clientFuncSeq atomic.Uint64
+
+// Client executes XRPCExprs remotely over a Transport. It implements
+// eval.RemoteCaller, including Bulk RPC.
+type Client struct {
+	Transport Transport
+	Semantics Semantics
+	Static    eval.StaticContext
+	// Relatives carries the §VI-B relative projection paths per decomposed
+	// XRPCExpr; the planner fills it for pass-by-projection.
+	Relatives map[*xq.XRPCExpr]projection.RelativePaths
+	// ProjOpts tunes message projection (schema-aware knobs).
+	ProjOpts projection.Options
+	// Metrics, when non-nil, accumulates exchange measurements.
+	Metrics *Metrics
+}
+
+var _ eval.RemoteCaller = (*Client)(nil)
+
+// CallRemote implements eval.RemoteCaller for a single call.
+func (c *Client) CallRemote(target string, x *xq.XRPCExpr, params []xdm.Sequence) (xdm.Sequence, error) {
+	results, err := c.CallRemoteBulk(target, x, [][]xdm.Sequence{params})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// CallRemoteBulk implements Bulk RPC: all iterations travel in one message.
+func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, error) {
+	if containsRemote(x.Body) {
+		return nil, fmt.Errorf("xrpc: shipped function body contains a nested execute-at; " +
+			"the decomposer never generates these (fcn0 stays local)")
+	}
+	name := x.FuncName
+	if name == "" {
+		name = fmt.Sprintf("xrpcgen:f%d", clientFuncSeq.Add(1))
+	}
+	req := &Request{
+		Method:    name,
+		Arity:     len(x.Params),
+		Semantics: c.Semantics,
+		Module:    shipModule(x, name),
+		Static:    c.Static,
+		Calls:     iterations,
+	}
+	var paramU, paramR []projection.PathSet
+	if c.Semantics == ByProjection {
+		rel, ok := c.Relatives[x]
+		if ok {
+			paramU, paramR = rel.ParamUsed, rel.ParamReturned
+			req.ResultUsed = rel.ResultUsed
+			req.ResultReturned = rel.ResultReturn
+		} else {
+			// Without an analysis the safe fallback keeps parameter values
+			// whole (self is returned) and the response unprojected.
+			for range x.Params {
+				paramU = append(paramU, nil)
+				paramR = append(paramR, nil)
+			}
+			req.ResultReturned = projection.PathSet{}.Add(projection.Path{})
+		}
+	}
+	t0 := time.Now()
+	data, err := MarshalRequest(req, paramU, paramR, c.ProjOpts)
+	if err != nil {
+		return nil, err
+	}
+	serNS := time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	respData, err := c.Transport.RoundTrip(target, data)
+	wallNS := time.Since(t1).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	resp, err := ParseResponse(respData)
+	if err != nil {
+		return nil, err
+	}
+	deserNS := time.Since(t2).Nanoseconds()
+	if len(resp.Results) != len(iterations) {
+		return nil, fmt.Errorf("xrpc: response carries %d results for %d calls",
+			len(resp.Results), len(iterations))
+	}
+	if c.Metrics != nil {
+		c.Metrics.Add(&Metrics{
+			Requests:      1,
+			BytesSent:     int64(len(data)),
+			BytesReceived: int64(len(respData)),
+			SerializeNS:   serNS,
+			DeserializeNS: deserNS,
+			RemoteExecNS:  resp.ExecNanos,
+			ServerSerdeNS: resp.SerializeNanos,
+			RoundTripWall: wallNS,
+		})
+	}
+	return resp.Results, nil
+}
+
+// shipModule renders the self-contained function declaration shipped in the
+// request's module element.
+func shipModule(x *xq.XRPCExpr, name string) string {
+	f := &xq.FuncDecl{Name: name, Return: xq.AnyItems, Body: x.Body}
+	for i, par := range x.Params {
+		typ := xq.AnyItems
+		if i < len(x.Types) {
+			typ = x.Types[i]
+		}
+		f.Params = append(f.Params, xq.Param{Name: par.Name, Type: typ})
+	}
+	return xq.PrintFuncDecl(f)
+}
+
+func containsRemote(e xq.Expr) bool {
+	found := false
+	xq.Walk(e, func(sub xq.Expr) bool {
+		switch sub.(type) {
+		case *xq.XRPCExpr, *xq.ExecuteAt:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

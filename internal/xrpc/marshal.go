@@ -1,0 +1,249 @@
+package xrpc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"distxq/internal/eval"
+	"distxq/internal/projection"
+	"distxq/internal/xdm"
+)
+
+// MarshalRequest serializes a request into a SOAP message. For
+// pass-by-projection, paramUsed/paramReturned supply the per-parameter
+// relative projection paths applied while serializing, and the request's
+// ResultUsed/ResultReturned travel in the projection-paths element for the
+// server to apply on the response (Fig. 5).
+func MarshalRequest(r *Request, paramUsed, paramReturned []projection.PathSet, opts projection.Options) ([]byte, error) {
+	st := &encodeState{
+		sem:           r.Semantics,
+		paramUsed:     paramUsed,
+		paramReturned: paramReturned,
+		projOpts:      opts,
+	}
+	var seqs []xdm.Sequence
+	var paramOf []int
+	for _, call := range r.Calls {
+		if len(call) != r.Arity {
+			return nil, fmt.Errorf("xrpc: call has %d parameters, arity is %d", len(call), r.Arity)
+		}
+		for p, s := range call {
+			seqs = append(seqs, s)
+			paramOf = append(paramOf, p)
+		}
+	}
+	if err := st.buildFragments(seqs, paramOf); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString(envelopeOpen)
+	fmt.Fprintf(&sb, "<%s>", elBody)
+	fmt.Fprintf(&sb,
+		`<%s method="%s" arity="%d" semantics="%s" base-uri="%s" collation="%s" datetime="%s">`,
+		elRequest, escapeAttr(r.Method), r.Arity, r.Semantics,
+		escapeAttr(r.Static.BaseURI), escapeAttr(r.Static.DefaultCollation),
+		escapeAttr(r.Static.CurrentDateTime))
+	fmt.Fprintf(&sb, "<%s>%s</%s>", elModule, escapeText(r.Module), elModule)
+	if r.Semantics == ByProjection {
+		fmt.Fprintf(&sb, "<%s>", elProjPaths)
+		for _, p := range r.ResultUsed {
+			fmt.Fprintf(&sb, "<%s>%s</%s>", elUsedPath, escapeText(p.String()), elUsedPath)
+		}
+		for _, p := range r.ResultReturned {
+			fmt.Fprintf(&sb, "<%s>%s</%s>", elRetPath, escapeText(p.String()), elRetPath)
+		}
+		fmt.Fprintf(&sb, "</%s>", elProjPaths)
+	}
+	st.writeFragments(&sb)
+	for _, call := range r.Calls {
+		fmt.Fprintf(&sb, "<%s>", elCall)
+		for _, s := range call {
+			if err := st.writeSequence(&sb, s); err != nil {
+				return nil, err
+			}
+		}
+		fmt.Fprintf(&sb, "</%s>", elCall)
+	}
+	fmt.Fprintf(&sb, "</%s></%s></env:Envelope>", elRequest, elBody)
+	return []byte(sb.String()), nil
+}
+
+// ParseRequest shreds a request message: fragments become fresh documents
+// and parameter sequences resolve into them (preserving node identity and
+// order among parameters of the same message, §V).
+func ParseRequest(data []byte) (*Request, error) {
+	doc, err := xdm.Parse(strings.NewReader(string(data)), "xrpc:request")
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: malformed request: %w", err)
+	}
+	reqEl, err := messagePayload(doc, elRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{Method: attrOr(reqEl, "method", "")}
+	r.Arity, _ = strconv.Atoi(attrOr(reqEl, "arity", "0"))
+	r.Semantics, err = ParseSemantics(attrOr(reqEl, "semantics", "by-value"))
+	if err != nil {
+		return nil, err
+	}
+	r.Static = eval.StaticContext{
+		BaseURI:          attrOr(reqEl, "base-uri", ""),
+		DefaultCollation: attrOr(reqEl, "collation", ""),
+		CurrentDateTime:  attrOr(reqEl, "datetime", ""),
+	}
+	if m := findChild(reqEl, elModule); m != nil {
+		r.Module = m.StringValue()
+	}
+	if pp := findChild(reqEl, elProjPaths); pp != nil {
+		for _, c := range childElems(pp) {
+			p, perr := projection.ParsePath(c.StringValue())
+			if perr != nil {
+				return nil, perr
+			}
+			switch localName(c.Name) {
+			case localName(elUsedPath):
+				r.ResultUsed = r.ResultUsed.Add(p)
+			case localName(elRetPath):
+				r.ResultReturned = r.ResultReturned.Add(p)
+			}
+		}
+	}
+	st, err := decodeFragments(findChild(reqEl, elFragments))
+	if err != nil {
+		return nil, err
+	}
+	r.fragDocs = st.fragDocs
+	for _, callEl := range childElems(reqEl) {
+		if !nameIs(callEl, elCall) {
+			continue
+		}
+		var params []xdm.Sequence
+		for _, seqEl := range childElems(callEl) {
+			if !nameIs(seqEl, elSequence) {
+				return nil, fmt.Errorf("xrpc: unexpected %s in call", seqEl.Name)
+			}
+			s, err := st.decodeSequence(seqEl)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, s)
+		}
+		if len(params) != r.Arity {
+			return nil, fmt.Errorf("xrpc: call carries %d sequences, arity is %d", len(params), r.Arity)
+		}
+		if params == nil {
+			params = []xdm.Sequence{}
+		}
+		r.Calls = append(r.Calls, params)
+	}
+	if len(r.Calls) == 0 {
+		return nil, fmt.Errorf("xrpc: request without calls")
+	}
+	return r, nil
+}
+
+// MarshalResponse serializes the results of every call. For
+// pass-by-projection, resultUsed/resultReturned are the relative paths from
+// the request's projection-paths element, applied to the result sequences
+// while building the response fragments.
+func MarshalResponse(resp *Response, resultUsed, resultReturned projection.PathSet, opts projection.Options) ([]byte, error) {
+	st := &encodeState{
+		sem:           resp.Semantics,
+		paramUsed:     []projection.PathSet{resultUsed},
+		paramReturned: []projection.PathSet{resultReturned},
+		projOpts:      opts,
+	}
+	if err := st.buildFragments(resp.Results, nil); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString(envelopeOpen)
+	fmt.Fprintf(&sb, "<%s>", elBody)
+	fmt.Fprintf(&sb, `<%s semantics="%s" exec-ns="%d" serde-ns="%d">`,
+		elResponse, resp.Semantics, resp.ExecNanos, resp.SerializeNanos)
+	st.writeFragments(&sb)
+	for _, res := range resp.Results {
+		fmt.Fprintf(&sb, "<%s>", elCall)
+		if err := st.writeSequence(&sb, res); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, "</%s>", elCall)
+	}
+	fmt.Fprintf(&sb, "</%s></%s></env:Envelope>", elResponse, elBody)
+	return []byte(sb.String()), nil
+}
+
+// ParseResponse shreds a response message.
+func ParseResponse(data []byte) (*Response, error) {
+	doc, err := xdm.Parse(strings.NewReader(string(data)), "xrpc:response")
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: malformed response: %w", err)
+	}
+	respEl, err := messagePayload(doc, elResponse)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{}
+	resp.Semantics, err = ParseSemantics(attrOr(respEl, "semantics", "by-value"))
+	if err != nil {
+		return nil, err
+	}
+	resp.ExecNanos, _ = strconv.ParseInt(attrOr(respEl, "exec-ns", "0"), 10, 64)
+	resp.SerializeNanos, _ = strconv.ParseInt(attrOr(respEl, "serde-ns", "0"), 10, 64)
+	st, err := decodeFragments(findChild(respEl, elFragments))
+	if err != nil {
+		return nil, err
+	}
+	resp.fragDocs = st.fragDocs
+	for _, callEl := range childElems(respEl) {
+		if !nameIs(callEl, elCall) {
+			continue
+		}
+		seqEl := findChild(callEl, elSequence)
+		if seqEl == nil {
+			return nil, fmt.Errorf("xrpc: response call without sequence")
+		}
+		s, err := st.decodeSequence(seqEl)
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = append(resp.Results, s)
+	}
+	return resp, nil
+}
+
+// Fault is an XRPC error travelling back as a SOAP fault.
+type Fault struct{ Msg string }
+
+func (f *Fault) Error() string { return "xrpc: remote fault: " + f.Msg }
+
+// MarshalFault renders an error as a SOAP fault message.
+func MarshalFault(err error) []byte {
+	var sb strings.Builder
+	sb.WriteString(envelopeOpen)
+	fmt.Fprintf(&sb, "<%s><env:Fault><env:Reason>%s</env:Reason></env:Fault></%s></env:Envelope>",
+		elBody, escapeText(err.Error()), elBody)
+	return []byte(sb.String())
+}
+
+// messagePayload unwraps Envelope/Body and returns the payload element,
+// surfacing faults as errors.
+func messagePayload(doc *xdm.Document, want string) (*xdm.Node, error) {
+	env := doc.DocElem()
+	if env == nil || !nameIs(env, elEnvelope) {
+		return nil, fmt.Errorf("xrpc: not a SOAP envelope")
+	}
+	body := findChild(env, elBody)
+	if body == nil {
+		return nil, fmt.Errorf("xrpc: envelope without body")
+	}
+	if f := findChild(body, "env:Fault"); f != nil {
+		return nil, &Fault{Msg: f.StringValue()}
+	}
+	el := findChild(body, want)
+	if el == nil {
+		return nil, fmt.Errorf("xrpc: body lacks %s", want)
+	}
+	return el, nil
+}

@@ -1,0 +1,200 @@
+// Package xrpc implements the XRPC protocol of the paper: SOAP request/
+// response messages carrying shipped XQuery functions and their parameters
+// under three passing semantics — pass-by-value (deep copies, Fig. 1),
+// pass-by-fragment (a fragments preamble with fragid/nodeid references,
+// Fig. 4), and pass-by-projection (runtime-projected fragments plus a
+// projection-paths element steering response projection, Fig. 5) — together
+// with Bulk RPC, the client (an eval.RemoteCaller), the server handler, and
+// byte-counting transports.
+package xrpc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"distxq/internal/eval"
+	"distxq/internal/projection"
+	"distxq/internal/xdm"
+)
+
+// Semantics selects the parameter-passing semantics of a message exchange.
+type Semantics uint8
+
+// The three passing semantics of the paper.
+const (
+	ByValue Semantics = iota
+	ByFragment
+	ByProjection
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case ByValue:
+		return "by-value"
+	case ByFragment:
+		return "by-fragment"
+	case ByProjection:
+		return "by-projection"
+	}
+	return fmt.Sprintf("Semantics(%d)", uint8(s))
+}
+
+// ParseSemantics parses the message attribute form.
+func ParseSemantics(s string) (Semantics, error) {
+	switch s {
+	case "by-value":
+		return ByValue, nil
+	case "by-fragment":
+		return ByFragment, nil
+	case "by-projection":
+		return ByProjection, nil
+	}
+	return ByValue, fmt.Errorf("xrpc: unknown semantics %q", s)
+}
+
+// Request is the logical content of an XRPC request message. Calls holds one
+// entry per Bulk RPC iteration; a plain call has exactly one.
+type Request struct {
+	Method    string
+	Arity     int
+	Semantics Semantics
+	// Module carries the generated function declaration(s) shipped inline
+	// (source text, self-contained).
+	Module string
+	// Static context propagated to the remote peer (Problem 5 class 1).
+	Static eval.StaticContext
+	// ResultUsed/ResultReturned are the relative projection paths the remote
+	// peer must apply when serializing the response (pass-by-projection).
+	ResultUsed     projection.PathSet
+	ResultReturned projection.PathSet
+	// Calls: per iteration, per parameter, the encoded sequence.
+	Calls [][]xdm.Sequence
+	// fragDocs holds the decoded fragment documents (server side), so tests
+	// can inspect identity preservation.
+	fragDocs []*xdm.Document
+}
+
+// Response is the logical content of an XRPC response message.
+type Response struct {
+	Semantics Semantics
+	// Results holds one result sequence per call.
+	Results []xdm.Sequence
+	// ExecNanos reports the server's function-evaluation time, letting the
+	// client separate remote-exec from network time in breakdowns.
+	ExecNanos int64
+	// SerializeNanos reports the server-side (de)serialization time.
+	SerializeNanos int64
+	fragDocs       []*xdm.Document
+}
+
+// Message framing names. The xdm layer keeps prefixes literal, so these are
+// plain string matches.
+const (
+	elEnvelope   = "env:Envelope"
+	elBody       = "env:Body"
+	elRequest    = "xrpc:request"
+	elResponse   = "xrpc:response"
+	elModule     = "xrpc:module"
+	elProjPaths  = "xrpc:projection-paths"
+	elUsedPath   = "xrpc:used-path"
+	elRetPath    = "xrpc:returned-path"
+	elFragments  = "xrpc:fragments"
+	elFragment   = "xrpc:fragment"
+	elCall       = "xrpc:call"
+	elSequence   = "xrpc:sequence"
+	elAtomic     = "xrpc:atomic-value"
+	elElement    = "xrpc:element"
+	elAttribute  = "xrpc:attribute"
+	elTextNode   = "xrpc:text"
+	elCommentEl  = "xrpc:comment"
+	elDocumentEl = "xrpc:document"
+)
+
+const envelopeOpen = `<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope" xmlns:xrpc="http://monetdb.cwi.nl/XQuery">`
+
+// atomTypeName maps atomic types to their lexical message form.
+func atomTypeName(t xdm.AtomType) string { return t.String() }
+
+func writeAtomic(sb *strings.Builder, a xdm.Atomic) {
+	fmt.Fprintf(sb, `<%s type="%s">%s</%s>`, elAtomic, atomTypeName(a.T),
+		escapeText(a.ItemString()), elAtomic)
+}
+
+var msgTextEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+func escapeText(s string) string { return msgTextEscaper.Replace(s) }
+
+func parseAtomicEl(n *xdm.Node) (xdm.Atomic, error) {
+	tname := "xs:string"
+	if a := n.Attr("type"); a != nil {
+		tname = a.Text
+	}
+	t, ok := xdm.ParseAtomType(tname)
+	if !ok {
+		return xdm.Atomic{}, fmt.Errorf("xrpc: unknown atomic type %q", tname)
+	}
+	s := n.StringValue()
+	switch t {
+	case xdm.TBoolean:
+		return xdm.NewBoolean(s == "true" || s == "1"), nil
+	case xdm.TInteger:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return xdm.Atomic{}, fmt.Errorf("xrpc: bad integer %q", s)
+		}
+		return xdm.NewInteger(i), nil
+	case xdm.TDouble:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return xdm.Atomic{}, fmt.Errorf("xrpc: bad double %q", s)
+		}
+		return xdm.NewDouble(f), nil
+	case xdm.TUntyped:
+		return xdm.NewUntyped(s), nil
+	default:
+		return xdm.NewString(s), nil
+	}
+}
+
+// localName strips a namespace prefix. The xdm parser resolves declared
+// prefixes away (encoding/xml semantics), so message decoding matches on
+// local names.
+func localName(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// nameIs compares element names modulo namespace prefix.
+func nameIs(n *xdm.Node, want string) bool {
+	return localName(n.Name) == localName(want)
+}
+
+// childElems returns the element children of n.
+func childElems(n *xdm.Node) []*xdm.Node {
+	var out []*xdm.Node
+	for _, c := range n.Children {
+		if c.Kind == xdm.ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func findChild(n *xdm.Node, name string) *xdm.Node {
+	for _, c := range n.Children {
+		if c.Kind == xdm.ElementNode && nameIs(c, name) {
+			return c
+		}
+	}
+	return nil
+}
+
+func attrOr(n *xdm.Node, name, def string) string {
+	if a := n.Attr(name); a != nil {
+		return a.Text
+	}
+	return def
+}

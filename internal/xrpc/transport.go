@@ -1,0 +1,117 @@
+package xrpc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Transport moves a serialized request to a peer and returns the serialized
+// response. Implementations must be safe for concurrent use.
+type Transport interface {
+	RoundTrip(peer string, request []byte) (response []byte, err error)
+}
+
+// Handler processes one raw XRPC request (the server side of a Transport).
+type Handler interface {
+	Handle(request []byte) (response []byte, err error)
+}
+
+// InMemoryTransport connects peers within one process; the benchmark harness
+// uses it together with the netsim cost model to reproduce the paper's
+// testbed deterministically.
+type InMemoryTransport struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewInMemoryTransport returns an empty in-process peer network.
+func NewInMemoryTransport() *InMemoryTransport {
+	return &InMemoryTransport{handlers: map[string]Handler{}}
+}
+
+// Register installs the handler serving a peer name.
+func (t *InMemoryTransport) Register(peer string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[peer] = h
+}
+
+// RoundTrip implements Transport.
+func (t *InMemoryTransport) RoundTrip(peer string, request []byte) ([]byte, error) {
+	t.mu.RLock()
+	h, ok := t.handlers[peer]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("xrpc: unknown peer %q", peer)
+	}
+	return h.Handle(request)
+}
+
+// HTTPTransport performs XRPC over HTTP POST, the wire protocol of the
+// paper (SOAP request messages sent as synchronous HTTP POST requests).
+type HTTPTransport struct {
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// URLFor maps a peer name to an endpoint URL. The default prepends
+	// http:// and appends /xrpc.
+	URLFor func(peer string) string
+}
+
+// RoundTrip implements Transport.
+func (t *HTTPTransport) RoundTrip(peer string, request []byte) ([]byte, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	urlFor := t.URLFor
+	if urlFor == nil {
+		urlFor = func(p string) string { return "http://" + p + "/xrpc" }
+	}
+	resp, err := client.Post(urlFor(peer), "application/soap+xml", bytes.NewReader(request))
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: POST to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: reading response from %s: %w", peer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("xrpc: peer %s returned HTTP %d: %s", peer, resp.StatusCode, truncate(body))
+	}
+	return body, nil
+}
+
+func truncate(b []byte) string {
+	if len(b) > 200 {
+		return string(b[:200]) + "..."
+	}
+	return string(b)
+}
+
+// NewHTTPHandler adapts a Handler into an http.Handler serving POST /xrpc.
+func NewHTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "xrpc requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := h.Handle(body)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/soap+xml")
+			w.WriteHeader(http.StatusOK) // faults travel as SOAP messages
+			_, _ = w.Write(MarshalFault(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/soap+xml")
+		_, _ = w.Write(resp)
+	})
+}
