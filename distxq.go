@@ -17,10 +17,13 @@
 // Sessions decompose each query per the paper's dependency-graph analysis,
 // execute the remote parts on the owning peers over XRPC, and report the
 // bandwidth/time metrics the paper's evaluation uses. See DESIGN.md for the
-// architecture and EXPERIMENTS.md for the reproduced figures.
+// architecture and internal/bench (driven by bench_test.go and cmd/figures)
+// for the reproduced figures.
 package distxq
 
 import (
+	"strings"
+
 	"distxq/internal/core"
 	"distxq/internal/eval"
 	"distxq/internal/peer"
@@ -78,19 +81,19 @@ func NewNetwork() *Network { return peer.NewNetwork() }
 // Serialize renders a result sequence as text: nodes as XML, atomics via
 // their lexical form, space separated.
 func Serialize(s Sequence) string {
-	out := ""
+	var sb strings.Builder
 	for i, it := range s {
 		if i > 0 {
-			out += " "
+			sb.WriteByte(' ')
 		}
 		switch v := it.(type) {
 		case *xdm.Node:
-			out += xdm.SerializeString(v)
+			_ = xdm.Serialize(&sb, v)
 		case xdm.Atomic:
-			out += v.ItemString()
+			sb.WriteString(v.ItemString())
 		}
 	}
-	return out
+	return sb.String()
 }
 
 // ParseQuery parses XQuery source text without executing it.

@@ -1,0 +1,3 @@
+module distxq
+
+go 1.22

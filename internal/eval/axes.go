@@ -26,8 +26,17 @@ func (c *context) evalPath(pe *xq.PathExpr) (xdm.Sequence, error) {
 	default:
 		return nil, fmt.Errorf("eval: relative path with undefined context item")
 	}
+	// Node steps work on two scratch buffers that ping-pong between "current
+	// context nodes" and "gather target", so a multi-step path allocates at
+	// most two node slices total instead of one per context node per step.
+	var curNodes, spare []*xdm.Node
+	haveNodes := false
 	for _, st := range pe.Steps {
 		if st.Filter {
+			if haveNodes {
+				cur = xdm.NodeSeq(curNodes)
+				haveNodes = false
+			}
 			filtered, err := c.filterItems(cur, st.Preds)
 			if err != nil {
 				return nil, err
@@ -35,21 +44,37 @@ func (c *context) evalPath(pe *xq.PathExpr) (xdm.Sequence, error) {
 			cur = filtered
 			continue
 		}
-		nodes, ok := cur.Nodes()
-		if !ok {
-			return nil, fmt.Errorf("eval: path step %s::%s applied to atomic value", st.Axis, st.Test)
-		}
-		var gathered []*xdm.Node
-		for _, n := range nodes {
-			res := axisNodes(n, st.Axis, st.Test)
-			res, err := c.filterPreds(res, st.Preds)
-			if err != nil {
-				return nil, err
+		nodes := curNodes
+		if !haveNodes {
+			var ok bool
+			nodes, ok = cur.Nodes()
+			if !ok {
+				return nil, fmt.Errorf("eval: path step %s::%s applied to atomic value", st.Axis, st.Test)
 			}
-			gathered = append(gathered, res...)
 		}
-		gathered = xdm.SortDocOrder(gathered)
-		cur = xdm.NodeSeq(gathered)
+		gathered := spare[:0]
+		for _, n := range nodes {
+			start := len(gathered)
+			gathered = appendAxisNodes(gathered, n, st.Axis, st.Test)
+			if len(st.Preds) > 0 {
+				seg, err := c.filterPreds(gathered[start:], st.Preds)
+				if err != nil {
+					return nil, err
+				}
+				gathered = gathered[:start+len(seg)]
+			}
+		}
+		// A single context node yields document-ordered, duplicate-free
+		// results on every axis; only unions across context nodes can
+		// disturb order (and SortDocOrder detects ordered unions in O(n)).
+		if len(nodes) > 1 {
+			gathered = xdm.SortDocOrder(gathered)
+		}
+		spare = nodes[:0] // the consumed context buffer becomes the next target
+		curNodes, haveNodes = gathered, true
+	}
+	if haveNodes {
+		cur = xdm.NodeSeq(curNodes)
 	}
 	return cur, nil
 }
@@ -89,12 +114,14 @@ func (c *context) filterItems(items xdm.Sequence, preds []xq.Expr) (xdm.Sequence
 }
 
 // filterPreds applies the step predicates to a candidate list. A predicate
-// evaluating to a number selects by position (1-based, in axis order, which
-// for our forward evaluation is document order); otherwise its effective
-// boolean value filters.
+// evaluating to a number selects by position (1-based over the candidates as
+// given, i.e. document order — a known deviation from XPath for reverse
+// axes, where position should count from the context node outward); otherwise
+// its effective boolean value filters. The input slice is compacted in place;
+// the returned slice aliases it.
 func (c *context) filterPreds(nodes []*xdm.Node, preds []xq.Expr) ([]*xdm.Node, error) {
 	for _, pred := range preds {
-		var kept []*xdm.Node
+		kept := nodes[:0]
 		size := len(nodes)
 		for i, n := range nodes {
 			pc := c.withItem(n, i+1, size)
@@ -129,81 +156,102 @@ func (c *context) filterPreds(nodes []*xdm.Node, preds []xq.Expr) ([]*xdm.Node, 
 // (§VI-B: runtime projection "relies on the normal XPath evaluation
 // capabilities of the XQuery engine").
 func AxisNodes(n *xdm.Node, axis xq.Axis, test xq.NodeTest) []*xdm.Node {
-	return axisNodes(n, axis, test)
+	return appendAxisNodes(nil, n, axis, test)
 }
 
-// axisNodes returns the nodes reached from n over the axis that satisfy the
-// node test, in document order.
-func axisNodes(n *xdm.Node, axis xq.Axis, test xq.NodeTest) []*xdm.Node {
-	var out []*xdm.Node
-	add := func(m *xdm.Node) {
-		if matchTest(m, axis, test) {
-			out = append(out, m)
-		}
-	}
+// appendAxisNodes appends the nodes reached from n over the axis that satisfy
+// the node test to dst, in document order, and returns the extended slice.
+// Appending lets evalPath gather a whole step into one reusable buffer.
+func appendAxisNodes(dst []*xdm.Node, n *xdm.Node, axis xq.Axis, test xq.NodeTest) []*xdm.Node {
 	switch axis {
 	case xq.AxisChild:
 		if n.Kind == xdm.AttributeNode {
-			return nil
+			return dst
 		}
 		for _, ch := range n.Children {
-			add(ch)
+			if matchTest(ch, axis, test) {
+				dst = append(dst, ch)
+			}
 		}
 	case xq.AxisAttribute:
 		for _, a := range n.Attrs {
-			add(a)
+			if matchTest(a, axis, test) {
+				dst = append(dst, a)
+			}
 		}
 	case xq.AxisSelf:
-		add(n)
+		if matchTest(n, axis, test) {
+			dst = append(dst, n)
+		}
 	case xq.AxisDescendant:
 		for _, ch := range n.Children {
-			ch.WalkDescendants(func(m *xdm.Node) bool { add(m); return true })
+			ch.WalkDescendants(func(m *xdm.Node) bool {
+				if matchTest(m, axis, test) {
+					dst = append(dst, m)
+				}
+				return true
+			})
 		}
 	case xq.AxisDescendantOrSelf:
-		n.WalkDescendants(func(m *xdm.Node) bool { add(m); return true })
+		n.WalkDescendants(func(m *xdm.Node) bool {
+			if matchTest(m, axis, test) {
+				dst = append(dst, m)
+			}
+			return true
+		})
 	case xq.AxisParent:
-		if n.Parent != nil {
-			add(n.Parent)
+		if n.Parent != nil && matchTest(n.Parent, axis, test) {
+			dst = append(dst, n.Parent)
 		}
-	case xq.AxisAncestor:
-		var anc []*xdm.Node
-		for p := n.Parent; p != nil; p = p.Parent {
-			anc = append(anc, p)
+	case xq.AxisAncestor, xq.AxisAncestorOrSelf:
+		start := n.Parent
+		if axis == xq.AxisAncestorOrSelf {
+			start = n
 		}
-		for i := len(anc) - 1; i >= 0; i-- { // document order: root first
-			add(anc[i])
+		first := len(dst)
+		for p := start; p != nil; p = p.Parent {
+			if matchTest(p, axis, test) {
+				dst = append(dst, p)
+			}
 		}
-	case xq.AxisAncestorOrSelf:
-		var anc []*xdm.Node
-		for p := n; p != nil; p = p.Parent {
-			anc = append(anc, p)
-		}
-		for i := len(anc) - 1; i >= 0; i-- {
-			add(anc[i])
+		// document order: root first
+		for i, j := first, len(dst)-1; i < j; i, j = i+1, j-1 {
+			dst[i], dst[j] = dst[j], dst[i]
 		}
 	case xq.AxisFollowingSibling:
 		if n.Parent == nil || n.Kind == xdm.AttributeNode {
-			return nil
+			return dst
 		}
-		seen := false
-		for _, sib := range n.Parent.Children {
-			if sib == n {
-				seen = true
-				continue
+		sibs := n.Parent.Children
+		idx := int(n.SiblingIndex())
+		if idx >= len(sibs) || sibs[idx] != n {
+			idx = -1
+			for i, sib := range sibs {
+				if sib == n {
+					idx = i
+					break
+				}
 			}
-			if seen {
-				add(sib)
+			if idx < 0 {
+				return dst
+			}
+		}
+		for _, sib := range sibs[idx+1:] {
+			if matchTest(sib, axis, test) {
+				dst = append(dst, sib)
 			}
 		}
 	case xq.AxisPrecedingSibling:
 		if n.Parent == nil || n.Kind == xdm.AttributeNode {
-			return nil
+			return dst
 		}
 		for _, sib := range n.Parent.Children {
 			if sib == n {
 				break
 			}
-			add(sib)
+			if matchTest(sib, axis, test) {
+				dst = append(dst, sib)
+			}
 		}
 	case xq.AxisFollowing:
 		start := n
@@ -211,10 +259,13 @@ func axisNodes(n *xdm.Node, axis xq.Axis, test xq.NodeTest) []*xdm.Node {
 			start = n.Parent
 		}
 		for f := start.Following(); f != nil; f = f.NextInDocument() {
-			add(f)
+			if matchTest(f, axis, test) {
+				dst = append(dst, f)
+			}
 		}
 	case xq.AxisPreceding:
-		// All nodes before n in document order, excluding ancestors.
+		// All nodes before n in document order, excluding ancestors (the
+		// ancestor test is an O(1) pre/size interval check on frozen trees).
 		root := n.RootNode()
 		target := n
 		if n.Kind == xdm.AttributeNode {
@@ -224,13 +275,13 @@ func axisNodes(n *xdm.Node, axis xq.Axis, test xq.NodeTest) []*xdm.Node {
 			if m == target {
 				return false
 			}
-			if !m.IsAncestorOf(target) {
-				add(m)
+			if !m.IsAncestorOf(target) && matchTest(m, axis, test) {
+				dst = append(dst, m)
 			}
 			return true
 		})
 	}
-	return out
+	return dst
 }
 
 // matchTest applies the node test. The principal node kind of the attribute

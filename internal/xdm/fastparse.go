@@ -1,0 +1,294 @@
+package xdm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses an XML document with an allocation-light scanner
+// specialized for machine-generated XML such as XRPC messages: element and
+// attribute names and text content are sliced out of one backing string
+// instead of being tokenized through encoding/xml, and nodes are handed out
+// of slab arenas. It accepts the same document subset Parse produces
+// (elements, attributes, text, comments; prefixed names kept literally, xmlns
+// attributes dropped, PIs/directives skipped) and reports an error on
+// anything malformed.
+//
+// The returned document's strings alias one copy of data, so the whole
+// message buffer stays reachable while any of its nodes do — the right trade
+// for decoded fragments, whose nodes are referenced by query results anyway.
+func ParseBytes(data []byte, uri string) (*Document, error) {
+	return parseFast(string(data), uri)
+}
+
+// nodeArena hands out nodes from slabs so a parsed message performs O(n/slab)
+// node allocations instead of O(n).
+type nodeArena struct{ slab []Node }
+
+func (ar *nodeArena) take(k Kind, name, text string) *Node {
+	if len(ar.slab) == 0 {
+		ar.slab = make([]Node, 256)
+	}
+	n := &ar.slab[0]
+	ar.slab = ar.slab[1:]
+	n.Kind, n.Name, n.Text = k, name, text
+	return n
+}
+
+func parseFast(s, uri string) (*Document, error) {
+	doc := NewDocument(uri)
+	cur := doc.Root
+	var arena nodeArena
+	pos := 0
+	for pos < len(s) {
+		if s[pos] != '<' {
+			start := pos
+			for pos < len(s) && s[pos] != '<' {
+				pos++
+			}
+			txt, err := decodeCharData(s[start:pos])
+			if err != nil {
+				return nil, fmt.Errorf("xdm: parse %s: %w", uri, err)
+			}
+			if cur == doc.Root && strings.TrimSpace(txt) == "" {
+				continue // whitespace outside the document element
+			}
+			if k := len(cur.Children); k > 0 && cur.Children[k-1].Kind == TextNode {
+				cur.Children[k-1].Text += txt // PI/directive split a text run
+				continue
+			}
+			cur.AppendChild(arena.take(TextNode, "", txt))
+			continue
+		}
+		if pos+1 >= len(s) {
+			return nil, fmt.Errorf("xdm: parse %s: unexpected EOF after '<'", uri)
+		}
+		switch s[pos+1] {
+		case '/':
+			name, p, err := scanXMLName(s, pos+2)
+			if err != nil {
+				return nil, fmt.Errorf("xdm: parse %s: %w", uri, err)
+			}
+			p = skipXMLSpace(s, p)
+			if p >= len(s) || s[p] != '>' {
+				return nil, fmt.Errorf("xdm: parse %s: malformed end tag </%s", uri, name)
+			}
+			pos = p + 1
+			if cur == doc.Root {
+				return nil, fmt.Errorf("xdm: parse %s: unbalanced end element", uri)
+			}
+			if cur.Name != name {
+				return nil, fmt.Errorf("xdm: parse %s: </%s> closes <%s>", uri, name, cur.Name)
+			}
+			cur = cur.Parent
+		case '!':
+			if strings.HasPrefix(s[pos:], "<!--") {
+				end := strings.Index(s[pos+4:], "-->")
+				if end < 0 {
+					return nil, fmt.Errorf("xdm: parse %s: unterminated comment", uri)
+				}
+				cur.AppendChild(arena.take(CommentNode, "", s[pos+4:pos+4+end]))
+				pos += 4 + end + 3
+			} else if strings.HasPrefix(s[pos:], "<![CDATA[") {
+				end := strings.Index(s[pos+9:], "]]>")
+				if end < 0 {
+					return nil, fmt.Errorf("xdm: parse %s: unterminated CDATA section", uri)
+				}
+				txt := s[pos+9 : pos+9+end]
+				pos += 9 + end + 3
+				if cur == doc.Root && strings.TrimSpace(txt) == "" {
+					continue
+				}
+				if k := len(cur.Children); k > 0 && cur.Children[k-1].Kind == TextNode {
+					cur.Children[k-1].Text += txt
+					continue
+				}
+				cur.AppendChild(arena.take(TextNode, "", txt))
+			} else {
+				// Directive (<!DOCTYPE ...>): skipped, like Parse does.
+				end := strings.IndexByte(s[pos:], '>')
+				if end < 0 {
+					return nil, fmt.Errorf("xdm: parse %s: unterminated directive", uri)
+				}
+				pos += end + 1
+			}
+		case '?':
+			end := strings.Index(s[pos+2:], "?>")
+			if end < 0 {
+				return nil, fmt.Errorf("xdm: parse %s: unterminated processing instruction", uri)
+			}
+			pos += 2 + end + 2
+		default:
+			name, p, err := scanXMLName(s, pos+1)
+			if err != nil {
+				return nil, fmt.Errorf("xdm: parse %s: %w", uri, err)
+			}
+			pos = p
+			el := arena.take(ElementNode, name, "")
+			closed := false
+			for !closed {
+				pos = skipXMLSpace(s, pos)
+				if pos >= len(s) {
+					return nil, fmt.Errorf("xdm: parse %s: unexpected EOF in <%s>", uri, name)
+				}
+				switch s[pos] {
+				case '>':
+					pos++
+					cur.AppendChild(el)
+					cur = el
+					closed = true
+				case '/':
+					if pos+1 >= len(s) || s[pos+1] != '>' {
+						return nil, fmt.Errorf("xdm: parse %s: malformed empty-element tag <%s", uri, name)
+					}
+					pos += 2
+					cur.AppendChild(el)
+					closed = true
+				default:
+					aname, p, err := scanXMLName(s, pos)
+					if err != nil {
+						return nil, fmt.Errorf("xdm: parse %s: in <%s>: %w", uri, name, err)
+					}
+					pos = skipXMLSpace(s, p)
+					if pos >= len(s) || s[pos] != '=' {
+						return nil, fmt.Errorf("xdm: parse %s: attribute %s without value", uri, aname)
+					}
+					pos = skipXMLSpace(s, pos+1)
+					if pos >= len(s) || (s[pos] != '"' && s[pos] != '\'') {
+						return nil, fmt.Errorf("xdm: parse %s: unquoted value for attribute %s", uri, aname)
+					}
+					quote := s[pos]
+					pos++
+					vend := strings.IndexByte(s[pos:], quote)
+					if vend < 0 {
+						return nil, fmt.Errorf("xdm: parse %s: unterminated value for attribute %s", uri, aname)
+					}
+					val, err := decodeCharData(s[pos : pos+vend])
+					if err != nil {
+						return nil, fmt.Errorf("xdm: parse %s: attribute %s: %w", uri, aname, err)
+					}
+					pos += vend + 1
+					if aname == "xmlns" || strings.HasPrefix(aname, "xmlns:") {
+						continue
+					}
+					replaced := false
+					for _, a := range el.Attrs {
+						if a.Name == aname {
+							a.Text = val
+							replaced = true
+							break
+						}
+					}
+					if !replaced {
+						a := arena.take(AttributeNode, aname, val)
+						a.Parent = el
+						a.sibIdx = int32(len(el.Attrs))
+						el.Attrs = append(el.Attrs, a)
+					}
+				}
+			}
+		}
+	}
+	if cur != doc.Root {
+		return nil, fmt.Errorf("xdm: parse %s: unexpected EOF inside element %s", uri, cur.Name)
+	}
+	doc.Freeze()
+	return doc, nil
+}
+
+// scanXMLName scans a (possibly prefixed) XML name starting at pos and
+// returns it with the position after it.
+func scanXMLName(s string, pos int) (string, int, error) {
+	start := pos
+	for pos < len(s) {
+		switch s[pos] {
+		case ' ', '\t', '\n', '\r', '=', '/', '>', '<', '"', '\'', '&', ';':
+			goto done
+		}
+		pos++
+	}
+done:
+	if pos == start {
+		return "", pos, fmt.Errorf("expected name at offset %d", start)
+	}
+	return s[start:pos], pos, nil
+}
+
+func skipXMLSpace(s string, pos int) int {
+	for pos < len(s) {
+		switch s[pos] {
+		case ' ', '\t', '\n', '\r':
+			pos++
+		default:
+			return pos
+		}
+	}
+	return pos
+}
+
+// decodeCharData resolves the predefined entities and character references
+// and normalizes line endings. Input without either is returned as-is
+// (a zero-copy slice of the message buffer).
+func decodeCharData(s string) (string, error) {
+	if strings.IndexByte(s, '&') < 0 && strings.IndexByte(s, '\r') < 0 {
+		return s, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		switch c := s[i]; c {
+		case '\r': // XML end-of-line handling: \r\n and bare \r become \n
+			sb.WriteByte('\n')
+			i++
+			if i < len(s) && s[i] == '\n' {
+				i++
+			}
+		case '&':
+			semi := strings.IndexByte(s[i:], ';')
+			if semi < 0 {
+				return "", fmt.Errorf("unterminated entity reference")
+			}
+			ent := s[i+1 : i+semi]
+			switch ent {
+			case "amp":
+				sb.WriteByte('&')
+			case "lt":
+				sb.WriteByte('<')
+			case "gt":
+				sb.WriteByte('>')
+			case "quot":
+				sb.WriteByte('"')
+			case "apos":
+				sb.WriteByte('\'')
+			default:
+				if !strings.HasPrefix(ent, "#") {
+					return "", fmt.Errorf("unknown entity &%s;", ent)
+				}
+				num, base := ent[1:], 10
+				if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+					num, base = num[1:], 16
+				}
+				v, err := strconv.ParseUint(num, base, 32)
+				if err != nil || !isXMLChar(rune(v)) {
+					return "", fmt.Errorf("invalid character reference &%s;", ent)
+				}
+				sb.WriteRune(rune(v))
+			}
+			i += semi + 1
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return sb.String(), nil
+}
+
+// isXMLChar reports whether r is in the XML 1.0 Char production — what a
+// character reference may legally denote (encoding/xml rejects the rest too).
+func isXMLChar(r rune) bool {
+	return r == 0x9 || r == 0xA || r == 0xD ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}

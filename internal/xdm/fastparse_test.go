@@ -1,0 +1,128 @@
+package xdm
+
+import (
+	"strings"
+	"testing"
+)
+
+// sameTree compares two trees structurally (kind, name, text, attributes),
+// ignoring node identity.
+func sameTree(t *testing.T, path string, a, b *Node) {
+	t.Helper()
+	if a.Kind != b.Kind || a.Name != b.Name || a.Text != b.Text {
+		t.Fatalf("%s: node differs: %s %q %q vs %s %q %q",
+			path, a.Kind, a.Name, a.Text, b.Kind, b.Name, b.Text)
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		t.Fatalf("%s: %d attrs vs %d", path, len(a.Attrs), len(b.Attrs))
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Name != b.Attrs[i].Name || a.Attrs[i].Text != b.Attrs[i].Text {
+			t.Fatalf("%s: attr %d differs: %s=%q vs %s=%q", path, i,
+				a.Attrs[i].Name, a.Attrs[i].Text, b.Attrs[i].Name, b.Attrs[i].Text)
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("%s: %d children vs %d", path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		sameTree(t, path+"/"+a.Children[i].Name, a.Children[i], b.Children[i])
+	}
+}
+
+// TestParseBytesMatchesParse feeds the same documents through the fast
+// scanner and the encoding/xml-based parser and requires identical trees.
+func TestParseBytesMatchesParse(t *testing.T) {
+	cases := map[string]string{
+		"simple":       `<a><b x="1">t</b></a>`,
+		"prefixed":     `<env:Envelope><env:Body a:b="c"/></env:Envelope>`,
+		"entities":     `<a q="&quot;&apos;&amp;">x &lt;y&gt; &amp; z &#65;&#x42;</a>`,
+		"comments":     `<a>pre<!--inside-->post<!----></a>`,
+		"mixed":        `<r> <a/> text <b><c>deep</c></b> tail </r>`,
+		"selfclose":    `<a x="1" y="2"/>`,
+		"pi-directive": `<?xml version="1.0"?><!DOCTYPE a><a>x<?pi data?>y</a>`,
+		"cdata":        `<a><![CDATA[x > y & <z>]]></a>`,
+		"cdata-merge":  `<a>pre<![CDATA[ raw ]]>post</a>`,
+		"whitespace":   "  \n <a>\n keep \n</a> \n ",
+		"unicode":      `<a über="ölwechsel">日本語テキスト</a>`,
+		"nested-deep":  `<a><b><c><d><e f="g">h</e></d></c></b></a>`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			want, err := Parse(strings.NewReader(src), "want.xml")
+			if err != nil {
+				t.Fatalf("reference parser rejected %q: %v", src, err)
+			}
+			got, err := ParseBytes([]byte(src), "got.xml")
+			if err != nil {
+				t.Fatalf("ParseBytes rejected %q: %v", src, err)
+			}
+			sameTree(t, "", got.Root, want.Root)
+			if !got.Frozen() {
+				t.Error("ParseBytes must return a frozen document")
+			}
+			if got.NodeCount() != want.NodeCount() {
+				t.Errorf("NodeCount = %d, want %d", got.NodeCount(), want.NodeCount())
+			}
+		})
+	}
+}
+
+// TestParseBytesRoundTripsSerializer: whatever our serializer emits, the fast
+// scanner reads back identically — the property the XRPC message layer needs.
+func TestParseBytesRoundTripsSerializer(t *testing.T) {
+	src := `<site id="s"><people><person id="p1"><name>A &amp; B</name>` +
+		`<desc>x&lt;tag&gt; "quoted" 'single'</desc><!--note--></person></people></site>`
+	d1, err := ParseString(src, "orig.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SerializeString(d1.DocElem())
+	d2, err := ParseBytes([]byte(out), "roundtrip.xml")
+	if err != nil {
+		t.Fatalf("ParseBytes rejected serializer output %q: %v", out, err)
+	}
+	sameTree(t, "", d2.Root, d1.Root)
+}
+
+// TestParseBytesKeepsPrefixesLiteral documents the one intended divergence
+// from Parse: a prefix with an in-scope xmlns declaration stays literal in
+// node names (Parse's qname drops it once encoding/xml resolves it to a URI).
+// The XRPC layer matches on local names, so both forms are equivalent there.
+func TestParseBytesKeepsPrefixesLiteral(t *testing.T) {
+	d, err := ParseBytes([]byte(`<env:Envelope xmlns:env="urn:e"><env:Body/></env:Envelope>`), "p.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DocElem().Name; got != "env:Envelope" {
+		t.Errorf("name = %q, want literal env:Envelope", got)
+	}
+	if d.DocElem().Attr("xmlns:env") != nil {
+		t.Error("xmlns declarations must be dropped, as in Parse")
+	}
+}
+
+func TestParseBytesRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"lone brackets":       `<<<`,
+		"unbalanced end":      `</a>`,
+		"mismatched end":      `<a><b></a></b>`,
+		"eof in element":      `<a><b>`,
+		"eof in tag":          `<a x="1"`,
+		"unquoted attr":       `<a x=1/>`,
+		"attr without value":  `<a x/>`,
+		"unterminated value":  `<a x="1/>`,
+		"unterminated entity": `<a>&amp</a>`,
+		"unknown entity":      `<a>&bogus;</a>`,
+		"bad char ref":        `<a>&#xZZ;</a>`,
+		"control char ref":    `<a>&#1;</a>`,
+		"surrogate char ref":  `<a>&#xD800;</a>`,
+		"unterminated commnt": `<a><!-- no end</a>`,
+		"unterminated cdata":  `<a><![CDATA[ no end</a>`,
+	}
+	for name, src := range cases {
+		if _, err := ParseBytes([]byte(src), "bad.xml"); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package xdm
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"sync/atomic"
 )
@@ -99,6 +100,11 @@ func (d *Document) DocElem() *Node {
 // Freeze assigns preorder ranks to every node and marks the tree immutable.
 // It must be called after construction and before any document-order
 // comparison. Freeze is idempotent.
+//
+// Beyond the preorder rank, Freeze assigns each node its sibling index and
+// subtree size (pre/size XPath-accelerator numbering): a node's subtree
+// occupies exactly the rank interval [pre, pre+size), attributes included.
+// This makes ancestor tests, sibling navigation and Following O(1).
 func (d *Document) Freeze() {
 	if d.frozen {
 		return
@@ -106,19 +112,24 @@ func (d *Document) Freeze() {
 	pre := int32(0)
 	var walk func(n *Node)
 	walk = func(n *Node) {
+		start := pre
 		n.pre = pre
 		pre++
 		n.Doc = d
-		for _, a := range n.Attrs {
+		for i, a := range n.Attrs {
 			a.pre = pre
 			pre++
 			a.Doc = d
 			a.Parent = n
+			a.sibIdx = int32(i)
+			a.size = 1
 		}
-		for _, c := range n.Children {
+		for i, c := range n.Children {
 			c.Parent = n
+			c.sibIdx = int32(i)
 			walk(c)
 		}
+		n.size = pre - start
 	}
 	walk(d.Root)
 	d.nnodes = int(pre)
@@ -144,7 +155,9 @@ type Node struct {
 	// sets it on shipped parameter nodes (Problem 5, class 2).
 	BaseURI string
 
-	pre int32
+	pre    int32
+	sibIdx int32 // index within Parent.Children (or Parent.Attrs)
+	size   int32 // ranks covered by the subtree incl. attributes; 0 until frozen
 }
 
 // NewElement returns a detached element node.
@@ -164,6 +177,7 @@ func NewAttr(name, value string) *Node {
 // AppendChild attaches c as the last child of n. The tree must not be frozen.
 func (n *Node) AppendChild(c *Node) *Node {
 	c.Parent = n
+	c.sibIdx = int32(len(n.Children))
 	n.Children = append(n.Children, c)
 	return n
 }
@@ -179,6 +193,7 @@ func (n *Node) SetAttr(name, value string) *Node {
 	}
 	a := NewAttr(name, value)
 	a.Parent = n
+	a.sibIdx = int32(len(n.Attrs))
 	n.Attrs = append(n.Attrs, a)
 	return n
 }
@@ -195,6 +210,17 @@ func (n *Node) Attr(name string) *Node {
 
 // Pre returns the preorder rank of n within its frozen document.
 func (n *Node) Pre() int32 { return n.pre }
+
+// SiblingIndex returns n's index within its parent's Children (or Attrs for
+// attribute nodes). It is maintained by AppendChild/SetAttr and reassigned by
+// Freeze, so it is reliable for frozen trees.
+func (n *Node) SiblingIndex() int32 { return n.sibIdx }
+
+// SubtreeSize returns the number of preorder ranks covered by n's subtree
+// (n itself, its attributes, and all descendants with their attributes), or 0
+// when the document has not been frozen. Within one frozen document,
+// m is in n's subtree exactly when n.Pre() <= m.Pre() < n.Pre()+n.SubtreeSize().
+func (n *Node) SubtreeSize() int32 { return n.size }
 
 // RootNode returns the topmost node reachable via Parent (the document node
 // for attached trees). This is what fn:root returns.
@@ -230,8 +256,13 @@ func (n *Node) appendText(sb *strings.Builder) {
 	}
 }
 
-// IsAncestorOf reports whether n is a proper ancestor of m.
+// IsAncestorOf reports whether n is a proper ancestor of m. For nodes of one
+// frozen document the answer comes from the pre/size interval in O(1); the
+// parent walk remains as the fallback for detached or unfrozen trees.
 func (n *Node) IsAncestorOf(m *Node) bool {
+	if n.size > 0 && n.Doc != nil && n.Doc == m.Doc {
+		return n.pre < m.pre && m.pre < n.pre+n.size
+	}
 	for p := m.Parent; p != nil; p = p.Parent {
 		if p == n {
 			return true
@@ -294,11 +325,16 @@ func (n *Node) Following() *Node {
 		if p == nil {
 			return nil
 		}
-		idx := -1
-		for i, c := range p.Children {
-			if c == cur {
-				idx = i
-				break
+		// sibIdx gives the position in O(1); fall back to a scan for trees
+		// assembled without AppendChild.
+		idx := int(cur.sibIdx)
+		if idx >= len(p.Children) || p.Children[idx] != cur {
+			idx = -1
+			for i, c := range p.Children {
+				if c == cur {
+					idx = i
+					break
+				}
 			}
 		}
 		if idx >= 0 && idx+1 < len(p.Children) {
@@ -334,8 +370,10 @@ func (n *Node) WalkDescendants(f func(*Node) bool) bool {
 
 // DescendantOrSelfIndex returns the 1-based position of target within the
 // document-order sequence descendant-or-self::node() of n (attributes
-// excluded), or 0 when target is not in that sequence. This numbering is the
-// nodeid used by the pass-by-fragment XRPC message format.
+// excluded), or 0 when target is not in that sequence. Note this counts
+// every node: the XRPC fragment codec builds its own numbering tables
+// (which additionally merge adjacent text siblings); this helper remains as
+// a per-node oracle for those tables.
 func (n *Node) DescendantOrSelfIndex(target *Node) int {
 	idx := 0
 	found := 0
@@ -405,13 +443,14 @@ func LCA(nodes []*Node) *Node {
 // (Parent nil, Doc nil). Attribute nodes copy as standalone attributes.
 func (n *Node) Copy() *Node {
 	c := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text, BaseURI: n.BaseURI}
-	for _, a := range n.Attrs {
-		ca := &Node{Kind: AttributeNode, Name: a.Name, Text: a.Text, Parent: c}
+	for i, a := range n.Attrs {
+		ca := &Node{Kind: AttributeNode, Name: a.Name, Text: a.Text, Parent: c, sibIdx: int32(i)}
 		c.Attrs = append(c.Attrs, ca)
 	}
-	for _, ch := range n.Children {
+	for i, ch := range n.Children {
 		cc := ch.Copy()
 		cc.Parent = c
+		cc.sibIdx = int32(i)
 		c.Children = append(c.Children, cc)
 	}
 	return c
@@ -430,42 +469,32 @@ func CopyToDocument(n *Node, uri string) *Node {
 
 // SortDocOrder sorts nodes in place by global document order and removes
 // duplicates (by identity), implementing the distinct-doc-order postcondition
-// of XPath steps.
+// of XPath steps. Already-ordered input (the common case: forward axes over
+// ordered context sequences emit in document order) is detected in O(n) and
+// returned untouched without allocating.
 func SortDocOrder(nodes []*Node) []*Node {
 	if len(nodes) < 2 {
 		return nodes
 	}
-	// insertion of small inputs dominates in path evaluation; use a simple
-	// merge sort on larger ones for stability and O(n log n).
-	sorted := mergeSortNodes(nodes)
-	out := sorted[:1]
-	for _, n := range sorted[1:] {
+	sorted := true
+	for i := 1; i < len(nodes); i++ {
+		// Strictly increasing input is both ordered and duplicate-free.
+		if Compare(nodes[i-1], nodes[i]) >= 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nodes
+	}
+	// Stable so that nodes Compare cannot order (detached trees, where every
+	// rank is zero) keep their input order, as the previous merge sort did.
+	slices.SortStableFunc(nodes, Compare)
+	out := nodes[:1]
+	for _, n := range nodes[1:] {
 		if n != out[len(out)-1] {
 			out = append(out, n)
 		}
 	}
-	return out
-}
-
-func mergeSortNodes(nodes []*Node) []*Node {
-	if len(nodes) < 2 {
-		return nodes
-	}
-	mid := len(nodes) / 2
-	left := mergeSortNodes(append([]*Node(nil), nodes[:mid]...))
-	right := mergeSortNodes(append([]*Node(nil), nodes[mid:]...))
-	out := make([]*Node, 0, len(nodes))
-	i, j := 0, 0
-	for i < len(left) && j < len(right) {
-		if Compare(left[i], right[j]) <= 0 {
-			out = append(out, left[i])
-			i++
-		} else {
-			out = append(out, right[j])
-			j++
-		}
-	}
-	out = append(out, left[i:]...)
-	out = append(out, right[j:]...)
 	return out
 }

@@ -38,6 +38,36 @@ type fragInfo struct {
 	proj map[*xdm.Node]*xdm.Node
 	// isDoc records that the fragment root is a document node.
 	isDoc bool
+	// ids numbers every node below root with its canonical nodeid, built by
+	// one walk on first reference so encoding n references costs O(size + n)
+	// instead of O(size × n).
+	ids map[*xdm.Node]int
+}
+
+// idOf returns the canonical 1-based nodeid of target within the fragment
+// (0 when target is not below the fragment root), memoizing the numbering
+// table on first use.
+func (f *fragInfo) idOf(target *xdm.Node) int {
+	if f.ids == nil {
+		f.ids = make(map[*xdm.Node]int)
+		idx := 0
+		var walk func(n *xdm.Node, prevWasText bool)
+		walk = func(n *xdm.Node, prevWasText bool) {
+			// Adjacent text siblings share one nodeid: a re-parsed
+			// serialization merges them.
+			if !(n.Kind == xdm.TextNode && prevWasText) {
+				idx++
+			}
+			f.ids[n] = idx
+			prevText := false
+			for _, c := range n.Children {
+				walk(c, prevText)
+				prevText = c.Kind == xdm.TextNode
+			}
+		}
+		walk(f.root, false)
+	}
+	return f.ids[target]
 }
 
 // buildFragments collects every node item of every sequence and constructs
@@ -203,7 +233,7 @@ func (st *encodeState) refFor(n *xdm.Node) (fragid, nodeid int, attrName string,
 			}
 			within = target
 		}
-		id := canonicalIndex(f.root, within)
+		id := f.idOf(within)
 		if id == 0 {
 			continue
 		}
@@ -307,41 +337,38 @@ func writeValueCopy(sb *strings.Builder, n *xdm.Node) {
 	}
 }
 
-// canonicalIndex computes the 1-based descendant-or-self position of target
-// below root, counting adjacent text siblings as one node (a re-parsed
-// serialization merges them); attributes are excluded.
-func canonicalIndex(root, target *xdm.Node) int {
-	idx := 0
-	found := 0
-	var walk func(n *xdm.Node, prevWasText bool) bool
-	walk = func(n *xdm.Node, prevWasText bool) bool {
-		merged := n.Kind == xdm.TextNode && prevWasText
-		if !merged {
-			idx++
-		}
-		if n == target {
-			found = idx
-			return false
-		}
-		prevText := false
-		for _, c := range n.Children {
-			if !walk(c, prevText) {
-				return false
-			}
-			prevText = c.Kind == xdm.TextNode
-		}
-		return true
-	}
-	walk(root, false)
-	return found
-}
-
 // ---------------------------------------------------------------- decode --
 
 // decodeState resolves references against decoded fragment documents.
 type decodeState struct {
 	fragRoots []*xdm.Node // numbering roots, one per fragment
 	fragDocs  []*xdm.Document
+	// fragNodes memoizes, per fragment, the descendant-or-self sequence of
+	// its numbering root (attributes excluded), built by one walk on first
+	// reference so decoding n references costs O(size + n) instead of
+	// O(size × n). Decoded fragments went through the parser, which already
+	// merged adjacent text siblings, so plain preorder matches the encoder's
+	// canonical numbering.
+	fragNodes [][]*xdm.Node
+}
+
+// nodeByID resolves the 1-based nodeid within fragment frag (0-based), or nil
+// when the id is out of range.
+func (st *decodeState) nodeByID(frag, nodeid int) *xdm.Node {
+	tbl := st.fragNodes[frag]
+	if tbl == nil {
+		root := st.fragRoots[frag]
+		tbl = make([]*xdm.Node, 0, root.SubtreeSize())
+		root.WalkDescendants(func(m *xdm.Node) bool {
+			tbl = append(tbl, m)
+			return true
+		})
+		st.fragNodes[frag] = tbl
+	}
+	if nodeid < 1 || nodeid > len(tbl) {
+		return nil
+	}
+	return tbl[nodeid-1]
 }
 
 // decodeFragments parses the fragments preamble into fresh documents, in
@@ -357,9 +384,14 @@ func decodeFragments(fragsEl *xdm.Node) (*decodeState, error) {
 			return nil, fmt.Errorf("xrpc: unexpected %s in fragments", f.Name)
 		}
 		d := xdm.NewDocument(fmt.Sprintf("xrpc-fragment://%d", decodedDocSeq.Add(1)))
+		// Adopt the fragment subtrees instead of deep-copying them: the
+		// message tree is transient and nothing reads fragment content
+		// through it after this point. Freeze renumbers the adopted nodes
+		// for the fresh document.
 		for _, c := range f.Children {
-			d.Root.AppendChild(c.Copy())
+			d.Root.AppendChild(c)
 		}
+		f.Children = nil
 		d.Freeze()
 		if base := attrOr(f, "base-uri", ""); base != "" {
 			d.Root.BaseURI = base
@@ -378,6 +410,7 @@ func decodeFragments(fragsEl *xdm.Node) (*decodeState, error) {
 		st.fragRoots = append(st.fragRoots, numberingRoot)
 		st.fragDocs = append(st.fragDocs, d)
 	}
+	st.fragNodes = make([][]*xdm.Node, len(st.fragRoots))
 	return st, nil
 }
 
@@ -422,7 +455,7 @@ func (st *decodeState) resolveRef(item *xdm.Node) (*xdm.Node, error) {
 	if err != nil || nodeid < 1 {
 		return nil, fmt.Errorf("xrpc: bad nodeid %q", attrOr(item, "nodeid", ""))
 	}
-	n := st.fragRoots[fragid-1].NthDescendantOrSelf(nodeid)
+	n := st.nodeByID(fragid-1, nodeid)
 	if n == nil {
 		return nil, fmt.Errorf("xrpc: nodeid %d out of range in fragment %d", nodeid, fragid)
 	}
@@ -461,9 +494,12 @@ func decodeValueCopy(item *xdm.Node) (*xdm.Node, error) {
 		return n, nil
 	case elDocumentEl, elElement:
 		d := xdm.NewDocument(fmt.Sprintf("xrpc-value://%d", decodedDocSeq.Add(1)))
+		// Adopt the copied content out of the transient message tree (see
+		// decodeFragments).
 		for _, c := range item.Children {
-			d.Root.AppendChild(c.Copy())
+			d.Root.AppendChild(c)
 		}
+		item.Children = nil
 		d.Freeze()
 		if base != "" {
 			d.Root.BaseURI = base

@@ -73,7 +73,7 @@ func MarshalRequest(r *Request, paramUsed, paramReturned []projection.PathSet, o
 // and parameter sequences resolve into them (preserving node identity and
 // order among parameters of the same message, §V).
 func ParseRequest(data []byte) (*Request, error) {
-	doc, err := xdm.Parse(strings.NewReader(string(data)), "xrpc:request")
+	doc, err := xdm.ParseBytes(data, "xrpc:request")
 	if err != nil {
 		return nil, fmt.Errorf("xrpc: malformed request: %w", err)
 	}
@@ -176,7 +176,7 @@ func MarshalResponse(resp *Response, resultUsed, resultReturned projection.PathS
 
 // ParseResponse shreds a response message.
 func ParseResponse(data []byte) (*Response, error) {
-	doc, err := xdm.Parse(strings.NewReader(string(data)), "xrpc:response")
+	doc, err := xdm.ParseBytes(data, "xrpc:response")
 	if err != nil {
 		return nil, fmt.Errorf("xrpc: malformed response: %w", err)
 	}
