@@ -131,6 +131,17 @@ type XMarkConfig = xmark.Config
 // XMarkPeople generates the site/people benchmark document.
 func XMarkPeople(c XMarkConfig, uri string) *xdm.Document { return xmark.PeopleDocument(c, uri) }
 
+// XMarkPeopleShard generates one horizontal partition of the people
+// document (person i lives on shard i%shards), for multi-peer federations.
+func XMarkPeopleShard(c XMarkConfig, shard, shards int, uri string) *xdm.Document {
+	return xmark.PeopleShardDocument(c, shard, shards, uri)
+}
+
+// ScatterQuery returns the multi-peer scatter-gather query over a sharded
+// people federation: `for $p in $peers return execute at $p {...}`, which
+// the engine dispatches as one concurrent Bulk RPC per peer.
+func ScatterQuery(peers []string) string { return xmark.ScatterQuery(peers) }
+
 // XMarkAuctions generates the site/open_auctions benchmark document.
 func XMarkAuctions(c XMarkConfig, uri string) *xdm.Document { return xmark.AuctionsDocument(c, uri) }
 

@@ -96,3 +96,27 @@ func TestREADMEExample(t *testing.T) {
 		t.Errorf("res=%v report=%v", res, report)
 	}
 }
+
+func TestFacadeScatterGather(t *testing.T) {
+	net := distxq.NewNetwork()
+	cfg := distxq.XMarkDefaultConfig()
+	cfg.Persons, cfg.FillerBytes = 24, 16
+	peers := []string{"p1", "p2", "p3"}
+	for i, name := range peers {
+		p := net.AddPeer(name)
+		p.AddDoc("xmk.xml", distxq.XMarkPeopleShard(cfg, i, len(peers), "xrpc://"+name+"/xmk.xml"))
+	}
+	local := net.AddPeer("local")
+	sess := net.NewSession(local, distxq.ByFragment)
+	res, rep, err := sess.Query(distxq.ScatterQuery(peers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("scatter query returned nothing")
+	}
+	if rep.Requests != int64(len(peers)) || rep.Parallelism != len(peers) {
+		t.Errorf("requests=%d parallelism=%d, want one concurrent Bulk RPC per peer (%d)",
+			rep.Requests, rep.Parallelism, len(peers))
+	}
+}

@@ -284,3 +284,93 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+// ------------------------------------------------------- scatter-gather ----
+
+// ScatterFixture is a federation with the people document partitioned
+// horizontally across N peers, for the concurrent scatter-gather experiment:
+// a variable-target loop queries every shard in place and gathers per-peer
+// results in one concurrent wave.
+type ScatterFixture struct {
+	Net        *peer.Network
+	Local      *Peer
+	Peers      []string
+	Query      string
+	TotalBytes int64
+}
+
+// NewScatterFixture shards roughly totalBytes of people data across the
+// given number of peers.
+func NewScatterFixture(totalBytes int64, peers int) *ScatterFixture {
+	cfg := xmark.ForSize(totalBytes * 2) // people doc is half of a fixture
+	n := peer.NewNetwork()
+	f := &ScatterFixture{Net: n}
+	for i := 0; i < peers; i++ {
+		name := fmt.Sprintf("peer%d", i+1)
+		p := n.AddPeer(name)
+		p.AddDoc("xmk.xml", xmark.PeopleShardDocument(cfg, i, peers, "xrpc://"+name+"/xmk.xml"))
+		f.Peers = append(f.Peers, name)
+		f.TotalBytes += p.DocSize("xmk.xml")
+	}
+	f.Local = n.AddPeer("local")
+	f.Query = xmark.ScatterQuery(f.Peers)
+	return f
+}
+
+// Run executes the scatter query once; sequential forces the serial
+// one-peer-at-a-time baseline instead of concurrent dispatch.
+func (f *ScatterFixture) Run(strat core.Strategy, sequential bool) (xdm.Sequence, *peer.Report, error) {
+	sess := f.Net.NewSession(f.Local, strat)
+	sess.SequentialScatter = sequential
+	return sess.Query(f.Query)
+}
+
+// ScatterRow is one measurement of the scatter-gather experiment.
+type ScatterRow struct {
+	Peers        int
+	Requests     int64
+	Parallelism  int
+	SerialNetNS  int64 // serial-sum network model (the baseline)
+	OverlapNetNS int64 // per-wave-max network model (concurrent dispatch)
+	MaxPeerNS    int64 // slowest peer's network + remote exec (critical path)
+	Speedup      float64
+}
+
+// FigScatter sweeps peer counts at a fixed total data size and reports the
+// overlapped vs. serial network cost of the scatter wave.
+func FigScatter(totalBytes int64, peerCounts []int) ([]ScatterRow, error) {
+	var out []ScatterRow
+	for _, pc := range peerCounts {
+		f := NewScatterFixture(totalBytes, pc)
+		_, rep, err := f.Run(core.ByFragment, false)
+		if err != nil {
+			return nil, fmt.Errorf("scatter %d peers: %w", pc, err)
+		}
+		row := ScatterRow{
+			Peers:        pc,
+			Requests:     rep.Requests,
+			Parallelism:  rep.Parallelism,
+			SerialNetNS:  rep.SerialNetworkNS,
+			OverlapNetNS: rep.NetworkNS,
+			MaxPeerNS:    rep.MaxPeerNS,
+		}
+		if row.OverlapNetNS > 0 {
+			row.Speedup = float64(row.SerialNetNS) / float64(row.OverlapNetNS)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintFigScatter renders the scatter-gather table.
+func PrintFigScatter(w io.Writer, totalBytes int64, rows []ScatterRow) {
+	fmt.Fprintf(w, "Scatter-gather — sharded people document (%s total), one Bulk RPC per peer\n",
+		fmtBytes(totalBytes))
+	fmt.Fprintf(w, "%6s %9s %12s %14s %14s %14s %9s\n",
+		"peers", "requests", "parallelism", "serial net", "overlap net", "max peer", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %9d %12d %14s %14s %14s %8.2fx\n",
+			r.Peers, r.Requests, r.Parallelism,
+			fmtNS(r.SerialNetNS), fmtNS(r.OverlapNetNS), fmtNS(r.MaxPeerNS), r.Speedup)
+	}
+}

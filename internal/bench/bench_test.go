@@ -3,6 +3,8 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"distxq/internal/core"
 )
 
 func TestFig7ShapeMatchesPaper(t *testing.T) {
@@ -136,5 +138,46 @@ func TestPrinters(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("printed output missing %q", want)
 		}
+	}
+}
+
+func TestFigScatterShape(t *testing.T) {
+	rows, err := FigScatter(1<<17, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		want := []int{1, 2, 4}[i]
+		if int(r.Requests) != want || r.Parallelism != want {
+			t.Errorf("%d peers: requests=%d parallelism=%d", want, r.Requests, r.Parallelism)
+		}
+		if r.OverlapNetNS > r.SerialNetNS {
+			t.Errorf("%d peers: overlapped %d exceeds serial %d", want, r.OverlapNetNS, r.SerialNetNS)
+		}
+	}
+	// More peers shard the same data further: the overlapped network time
+	// must not grow, while the serial sum does (per-request latency).
+	if rows[2].SerialNetNS <= rows[0].SerialNetNS {
+		t.Error("serial network time should grow with peer count")
+	}
+	if rows[2].OverlapNetNS >= rows[0].OverlapNetNS {
+		t.Error("overlapped network time should shrink as shards split the transfer")
+	}
+	// The result is independent of the shard count.
+	a := NewScatterFixture(1<<17, 2)
+	b := NewScatterFixture(1<<17, 4)
+	ra, _, err := a.Run(core.ByFragment, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := b.Run(core.ByFragment, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) == 0 || len(ra) != len(rb) {
+		t.Errorf("sharding changed the result: %d vs %d items", len(ra), len(rb))
 	}
 }

@@ -118,3 +118,39 @@ func BenchmarkMicroFragmentCodec(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMicroServerHandle measures one full server-side exchange: shred
+// the request, evaluate the shipped function, and serialize the response.
+// The response used to be marshalled twice just to patch the serde-ns
+// timing attribute; it is now marshalled once and the attribute is patched
+// in the serialized bytes.
+func BenchmarkMicroServerHandle(b *testing.B) {
+	doc := microPeopleDoc()
+	srv := &xrpc.Server{Engine: microEngine(doc)}
+	var seq xdm.Sequence
+	doc.Root.WalkDescendants(func(n *xdm.Node) bool {
+		if n.Kind == xdm.ElementNode && n.Name == "person" {
+			seq = append(seq, n)
+		}
+		return true
+	})
+	req := &xrpc.Request{
+		Method:    "f1",
+		Arity:     1,
+		Semantics: xrpc.ByFragment,
+		Module:    `declare function f1($x as node()*) as node()* { $x/child::name };`,
+		Static:    eval.DefaultStatic(),
+		Calls:     [][]xdm.Sequence{{seq}},
+	}
+	data, err := xrpc.MarshalRequest(req, nil, nil, projection.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Handle(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

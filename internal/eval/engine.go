@@ -38,6 +38,25 @@ type RemoteCaller interface {
 	CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, error)
 }
 
+// ScatterBatch groups the loop iterations bound for one destination peer of
+// a variable-target loop (`for $p in $peers return execute at $p {...}`).
+// Iterations appear in original loop order relative to each other.
+type ScatterBatch struct {
+	Target     string
+	Iterations [][]xdm.Sequence
+}
+
+// ScatterCaller is an optional RemoteCaller extension: an implementation
+// that can dispatch one Bulk RPC per distinct peer concurrently (scatter-
+// gather). Results and errors are positional per batch; a batch's result
+// holds one sequence per iteration. Implementations must not fail the whole
+// wave because one peer failed — per-peer errors travel in the error slice.
+// When the configured RemoteCaller does not implement ScatterCaller the
+// evaluator falls back to dispatching batches sequentially.
+type ScatterCaller interface {
+	CallRemoteScatter(x *xq.XRPCExpr, batches []ScatterBatch) ([][]xdm.Sequence, []error)
+}
+
 // StaticContext carries the static-context values that XRPC propagates to
 // remote peers (Problem 5, class 1).
 type StaticContext struct {
@@ -63,9 +82,10 @@ type Engine struct {
 	Static   StaticContext
 
 	mu       sync.Mutex
-	docCache map[string]*xdm.Document
+	docCache map[string]*docEntry
 
-	// Stats counts work done, for the benchmark harness.
+	// Stats counts work done, for the benchmark harness. Guarded by mu
+	// while queries are in flight; read it via StatsSnapshot.
 	Stats Stats
 }
 
@@ -74,6 +94,18 @@ type Stats struct {
 	DocsResolved int
 	RemoteCalls  int
 	BulkCalls    int
+	// ScatterWaves counts variable-target loops dispatched as one
+	// concurrent wave of per-peer Bulk RPCs.
+	ScatterWaves int
+}
+
+// docEntry is one single-flight slot of the document cache: concurrent
+// doc() calls for the same URI must observe the same node identities, so
+// the first caller resolves and every other caller waits on the same entry.
+type docEntry struct {
+	once sync.Once
+	doc  *xdm.Document
+	err  error
 }
 
 // NewEngine returns an engine with the given resolver and no remote caller.
@@ -82,29 +114,46 @@ func NewEngine(r Resolver) *Engine {
 }
 
 // Doc resolves and caches a document by URI. Two fn:doc calls for the same
-// URI observe the same node identities, as XQuery requires.
+// URI observe the same node identities, as XQuery requires — including two
+// concurrent calls, which single-flight through one cache entry instead of
+// racing to resolve twice. Failed resolutions are not cached.
 func (e *Engine) Doc(uri string) (*xdm.Document, error) {
 	e.mu.Lock()
-	if d, ok := e.docCache[uri]; ok {
-		e.mu.Unlock()
-		return d, nil
-	}
-	e.mu.Unlock()
-	if e.Resolver == nil {
-		return nil, fmt.Errorf("eval: no resolver configured for doc(%q)", uri)
-	}
-	d, err := e.Resolver.ResolveDoc(uri)
-	if err != nil {
-		return nil, fmt.Errorf("eval: doc(%q): %w", uri, err)
-	}
-	e.mu.Lock()
 	if e.docCache == nil {
-		e.docCache = map[string]*xdm.Document{}
+		e.docCache = map[string]*docEntry{}
 	}
-	e.docCache[uri] = d
-	e.Stats.DocsResolved++
+	ent, ok := e.docCache[uri]
+	if !ok {
+		ent = &docEntry{}
+		e.docCache[uri] = ent
+	}
 	e.mu.Unlock()
-	return d, nil
+	ent.once.Do(func() {
+		// Pre-set the error so a panicking resolver (recovered further up,
+		// e.g. by net/http) cannot leave a done entry with doc=nil, err=nil.
+		ent.err = fmt.Errorf("eval: doc(%q): resolution did not complete", uri)
+		if e.Resolver == nil {
+			ent.err = fmt.Errorf("eval: no resolver configured for doc(%q)", uri)
+			return
+		}
+		d, err := e.Resolver.ResolveDoc(uri)
+		if err != nil {
+			ent.err = fmt.Errorf("eval: doc(%q): %w", uri, err)
+			return
+		}
+		ent.doc, ent.err = d, nil
+		e.mu.Lock()
+		e.Stats.DocsResolved++
+		e.mu.Unlock()
+	})
+	if ent.err != nil {
+		e.mu.Lock()
+		if e.docCache[uri] == ent {
+			delete(e.docCache, uri)
+		}
+		e.mu.Unlock()
+	}
+	return ent.doc, ent.err
 }
 
 // ResetDocCache clears cached documents (used between benchmark runs).
@@ -113,6 +162,14 @@ func (e *Engine) ResetDocCache() {
 	e.docCache = nil
 	e.Stats = Stats{}
 	e.mu.Unlock()
+}
+
+// StatsSnapshot returns a consistent copy of the evaluation counters; use it
+// instead of reading Stats directly while queries may be in flight.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Stats
 }
 
 // Query normalizes and evaluates a parsed query.

@@ -155,10 +155,13 @@ func (c *context) evalFor(v *xq.ForExpr) (xdm.Sequence, error) {
 	}
 	// Bulk RPC: a for-loop whose body is exactly a remote call with a
 	// loop-invariant target ships all iterations in one message exchange.
+	// A target that varies per iteration instead scatter-gathers: one Bulk
+	// RPC per distinct destination peer, dispatched concurrently.
 	if x, ok := v.Return.(*xq.XRPCExpr); ok && len(v.OrderBy) == 0 && c.eng.Remote != nil {
 		if free := xq.FreeVars(x.Target); !free[v.Var] {
 			return c.evalBulk(v, x, in)
 		}
+		return c.evalScatter(v, x, in)
 	}
 	// Hoist loop-invariant comparison operands: evaluating them once instead
 	// of per iteration is the interpreter's stand-in for the loop-lifting
@@ -275,6 +278,95 @@ func (c *context) evalBulk(v *xq.ForExpr, x *xq.XRPCExpr, in xdm.Sequence) (xdm.
 	}
 	out := xdm.Sequence{}
 	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// evalScatter executes a for-loop whose body is a remote call with a target
+// that varies per iteration (`for $p in $peers return execute at $p {...}`).
+// The target is evaluated per iteration, iterations are partitioned by
+// destination peer (batches ordered by each peer's first appearance in the
+// loop), one Bulk RPC per distinct peer is dispatched — concurrently when
+// the RemoteCaller implements ScatterCaller — and the per-iteration results
+// are reassembled in original loop order. Per-peer failures surface
+// deterministically: the error of the batch whose peer appeared first in the
+// loop wins, independent of goroutine scheduling.
+func (c *context) evalScatter(v *xq.ForExpr, x *xq.XRPCExpr, in xdm.Sequence) (xdm.Sequence, error) {
+	if len(in) == 0 {
+		return xdm.EmptySequence, nil
+	}
+	batchOf := map[string]int{}
+	var batches []ScatterBatch
+	var indices [][]int // original iteration index per batch entry
+	for i, it := range in {
+		ic := c.bind(v.Var, xdm.Singleton(it))
+		targetSeq, err := ic.eval(x.Target)
+		if err != nil {
+			return nil, err
+		}
+		target, err := singletonString(targetSeq, "execute at target")
+		if err != nil {
+			return nil, err
+		}
+		params := make([]xdm.Sequence, len(x.Params))
+		for pi, p := range x.Params {
+			val, ok := ic.lookup(p.Ref)
+			if !ok {
+				return nil, fmt.Errorf("eval: XRPC parameter references unbound $%s", p.Ref)
+			}
+			params[pi] = val
+		}
+		b, seen := batchOf[target]
+		if !seen {
+			b = len(batches)
+			batchOf[target] = b
+			batches = append(batches, ScatterBatch{Target: target})
+			indices = append(indices, nil)
+		}
+		batches[b].Iterations = append(batches[b].Iterations, params)
+		indices[b] = append(indices[b], i)
+	}
+	results := make([][]xdm.Sequence, len(batches))
+	errs := make([]error, len(batches))
+	if sc, ok := c.eng.Remote.(ScatterCaller); ok {
+		c.eng.mu.Lock()
+		c.eng.Stats.BulkCalls += len(batches)
+		c.eng.Stats.ScatterWaves++
+		c.eng.mu.Unlock()
+		results, errs = sc.CallRemoteScatter(x, batches)
+		if len(results) != len(batches) || len(errs) != len(batches) {
+			return nil, fmt.Errorf("eval: scatter dispatch returned %d results / %d errors for %d batches",
+				len(results), len(errs), len(batches))
+		}
+	} else {
+		for b, batch := range batches {
+			c.eng.mu.Lock()
+			c.eng.Stats.BulkCalls++
+			c.eng.mu.Unlock()
+			results[b], errs[b] = c.eng.Remote.CallRemoteBulk(batch.Target, x, batch.Iterations)
+			if errs[b] != nil {
+				break // earlier batches succeeded, so this error wins anyway
+			}
+		}
+	}
+	for b, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("eval: scatter to %s: %w", batches[b].Target, err)
+		}
+	}
+	perIter := make([]xdm.Sequence, len(in))
+	for b := range batches {
+		if len(results[b]) != len(batches[b].Iterations) {
+			return nil, fmt.Errorf("eval: bulk RPC to %s returned %d results for %d calls",
+				batches[b].Target, len(results[b]), len(batches[b].Iterations))
+		}
+		for k, res := range results[b] {
+			perIter[indices[b][k]] = res
+		}
+	}
+	out := xdm.Sequence{}
+	for _, r := range perIter {
 		out = append(out, r...)
 	}
 	return out, nil

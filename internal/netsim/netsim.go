@@ -42,3 +42,24 @@ func (m Model) TransferTime(n int64) time.Duration {
 func (m Model) RoundTrip(reqBytes, respBytes int64) time.Duration {
 	return m.TransferTime(reqBytes) + m.TransferTime(respBytes)
 }
+
+// Exchange is one request/response pair, the unit of wave accounting.
+type Exchange struct {
+	ReqBytes  int64
+	RespBytes int64
+}
+
+// WaveTime returns the simulated duration of a set of exchanges dispatched
+// concurrently (one scatter-gather wave): overlapped transfers cost the
+// slowest lane — the per-wave maximum — instead of the serial sum, modeling
+// peers that sit behind independent switch ports as in the paper's testbed.
+// A single-lane wave therefore costs exactly RoundTrip.
+func (m Model) WaveTime(lanes []Exchange) time.Duration {
+	var w time.Duration
+	for _, l := range lanes {
+		if d := m.RoundTrip(l.ReqBytes, l.RespBytes); d > w {
+			w = d
+		}
+	}
+	return w
+}

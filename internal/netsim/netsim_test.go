@@ -54,3 +54,31 @@ func TestTransferTimeMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWaveTimeIsPerWaveMax(t *testing.T) {
+	m := Model{Latency: time.Millisecond, BandwidthBytesPerSec: 1000}
+	lanes := []Exchange{{ReqBytes: 100, RespBytes: 100}, {ReqBytes: 1000, RespBytes: 500}, {ReqBytes: 10, RespBytes: 10}}
+	want := m.RoundTrip(1000, 500) // the slowest lane dominates
+	if got := m.WaveTime(lanes); got != want {
+		t.Errorf("WaveTime = %v, want slowest lane %v", got, want)
+	}
+	// A single-lane wave costs exactly its round trip (serial equivalence).
+	if got := m.WaveTime(lanes[:1]); got != m.RoundTrip(100, 100) {
+		t.Errorf("single-lane wave = %v", got)
+	}
+	if got := m.WaveTime(nil); got != 0 {
+		t.Errorf("empty wave = %v, want 0", got)
+	}
+}
+
+func TestWaveTimeNeverExceedsSerialSum(t *testing.T) {
+	m := GigabitLAN()
+	lanes := []Exchange{{1000, 2000}, {500, 500}, {9000, 100}}
+	var serial time.Duration
+	for _, l := range lanes {
+		serial += m.RoundTrip(l.ReqBytes, l.RespBytes)
+	}
+	if w := m.WaveTime(lanes); w > serial {
+		t.Errorf("overlapped %v exceeds serial %v", w, serial)
+	}
+}

@@ -168,14 +168,28 @@ type Report struct {
 	DocBytes int64
 	// MsgBytes counts XRPC request+response message bytes.
 	MsgBytes int64
-	// Requests counts message exchanges (Bulk RPC counts once).
+	// Requests counts message exchanges (Bulk RPC counts once; a scatter
+	// wave over N peers counts N).
 	Requests int64
+	// Waves counts dispatch waves: a sequential exchange is a wave of one,
+	// a concurrent scatter over N peers one wave of N lanes.
+	Waves int64
+	// Parallelism is the widest wave observed (max exchanges in flight
+	// together); zero when the query sent no requests.
+	Parallelism int
+	// MaxPeerNS is the slowest single exchange's network + remote-exec
+	// time — the critical path through the slowest peer of a scatter wave.
+	MaxPeerNS int64
+	// SerialNetworkNS is the network time under the serial model (every
+	// transfer paid in sequence); NetworkNS charges overlapped waves the
+	// per-wave maximum instead. They coincide for fully sequential queries.
+	SerialNetworkNS int64
 	// Phase times (Figure 8 breakdown).
 	ShredNS      int64 // receiving+shredding shipped documents
 	LocalExecNS  int64 // local evaluation (excludes the other phases)
 	SerdeNS      int64 // client+server message (de)serialization
-	RemoteExecNS int64 // remote function evaluation
-	NetworkNS    int64 // simulated transfer time of all bytes moved
+	RemoteExecNS int64 // remote function evaluation (overlapped: per-wave max)
+	NetworkNS    int64 // simulated transfer time (overlapped: per-wave max)
 }
 
 // TotalBytes is the Figure 7 metric: documents plus messages.
@@ -190,7 +204,11 @@ func (r *Report) TotalNS() int64 {
 type Session struct {
 	Strategy core.Strategy
 	Origin   *Peer
-	net      *Network
+	// SequentialScatter disables concurrent per-peer dispatch for
+	// variable-target loops, forcing one Bulk RPC at a time — the serial
+	// baseline the scatter-gather benchmarks compare against.
+	SequentialScatter bool
+	net               *Network
 }
 
 // NewSession creates a query session originating at the given peer (the
@@ -240,12 +258,19 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	engine := eval.NewEngine(&peerResolver{peer: s.Origin, shipStats: ship})
 	metrics := &xrpc.Metrics{}
 	if s.Strategy != core.DataShipping {
-		engine.Remote = &xrpc.Client{
+		client := &xrpc.Client{
 			Transport: s.net.Transport,
 			Semantics: semanticsOf(s.Strategy),
 			Static:    engine.Static,
 			Relatives: plan.Relatives,
 			Metrics:   metrics,
+		}
+		if s.SequentialScatter {
+			// Hide the ScatterCaller extension so the evaluator dispatches
+			// variable-target batches one peer at a time.
+			engine.Remote = bulkOnlyCaller{client}
+		} else {
+			engine.Remote = client
 		}
 	}
 	t0 := time.Now()
@@ -256,14 +281,47 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	}
 	m := metrics.Snapshot()
 	rep := &Report{
-		Strategy:     plan.Strategy,
-		DocBytes:     ship.bytes.Load(),
-		MsgBytes:     m.BytesSent + m.BytesReceived,
-		Requests:     m.Requests,
-		ShredNS:      ship.shredNS.Load(),
-		SerdeNS:      m.SerializeNS + m.DeserializeNS + m.ServerSerdeNS,
-		RemoteExecNS: m.RemoteExecNS,
+		Strategy: plan.Strategy,
+		DocBytes: ship.bytes.Load(),
+		MsgBytes: m.BytesSent + m.BytesReceived,
+		Requests: m.Requests,
+		Waves:    int64(len(m.Waves)),
+		ShredNS:  ship.shredNS.Load(),
+		SerdeNS:  m.SerializeNS + m.DeserializeNS + m.ServerSerdeNS,
 	}
+	// Simulated network and remote execution, wave by wave: exchanges that
+	// were in flight together cost their per-wave maximum (the slowest peer
+	// dominates a scatter wave); sequential exchanges — single-lane waves —
+	// sum exactly as in the serial model.
+	netNS, serialNS, remoteNS := int64(0), int64(0), int64(0)
+	if rep.DocBytes > 0 {
+		t := s.net.Model.TransferTime(rep.DocBytes).Nanoseconds()
+		netNS += t
+		serialNS += t
+	}
+	for _, wave := range m.Waves {
+		if len(wave) > rep.Parallelism {
+			rep.Parallelism = len(wave)
+		}
+		lanes := make([]netsim.Exchange, len(wave))
+		var waveExecNS int64
+		for i, lane := range wave {
+			lanes[i] = netsim.Exchange{ReqBytes: lane.BytesSent, RespBytes: lane.BytesReceived}
+			laneNetNS := s.net.Model.RoundTrip(lane.BytesSent, lane.BytesReceived).Nanoseconds()
+			serialNS += laneNetNS
+			if lane.RemoteExecNS > waveExecNS {
+				waveExecNS = lane.RemoteExecNS
+			}
+			if peerNS := laneNetNS + lane.RemoteExecNS; peerNS > rep.MaxPeerNS {
+				rep.MaxPeerNS = peerNS
+			}
+		}
+		netNS += s.net.Model.WaveTime(lanes).Nanoseconds()
+		remoteNS += waveExecNS
+	}
+	rep.NetworkNS = netNS
+	rep.SerialNetworkNS = serialNS
+	rep.RemoteExecNS = remoteNS
 	// Local execution is what remains of wall time after the accounted
 	// phases (message serde and remote exec happen within the wall).
 	local := wallNS - rep.ShredNS - rep.SerdeNS - rep.RemoteExecNS
@@ -271,19 +329,18 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 		local = 0
 	}
 	rep.LocalExecNS = local
-	// Simulated network: every byte moved crosses the modeled link; each
-	// message exchange pays a round trip of latency, each shipped document
-	// one transfer.
-	netNS := int64(0)
-	if rep.DocBytes > 0 {
-		netNS += s.net.Model.TransferTime(rep.DocBytes).Nanoseconds()
-	}
-	if m.Requests > 0 {
-		netNS += 2 * s.net.Model.Latency.Nanoseconds() * m.Requests
-		if bw := s.net.Model.BandwidthBytesPerSec; bw > 0 {
-			netNS += int64(float64(m.BytesSent+m.BytesReceived) / bw * 1e9)
-		}
-	}
-	rep.NetworkNS = netNS
 	return res, rep, nil
+}
+
+// bulkOnlyCaller forwards the plain RemoteCaller methods of a Client while
+// hiding its ScatterCaller extension, so variable-target loops degrade to
+// sequential per-peer dispatch (the measurement baseline).
+type bulkOnlyCaller struct{ c *xrpc.Client }
+
+func (b bulkOnlyCaller) CallRemote(target string, x *xq.XRPCExpr, params []xdm.Sequence) (xdm.Sequence, error) {
+	return b.c.CallRemote(target, x, params)
+}
+
+func (b bulkOnlyCaller) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, error) {
+	return b.c.CallRemoteBulk(target, x, iterations)
 }

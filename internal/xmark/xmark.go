@@ -109,6 +109,43 @@ func (r *rng) filler(n int) string {
 	return sb.String()
 }
 
+// appendPerson builds one site/people/person entry with the given id.
+func appendPerson(people *xdm.Node, r *rng, c Config, id int) {
+	p := xdm.NewElement("person")
+	p.SetAttr("id", fmt.Sprintf("person%d", id))
+	name := xdm.NewElement("name")
+	name.AppendChild(xdm.NewText(
+		firstNames[r.intn(len(firstNames))] + " " + lastNames[r.intn(len(lastNames))]))
+	p.AppendChild(name)
+	email := xdm.NewElement("emailaddress")
+	email.AppendChild(xdm.NewText(fmt.Sprintf("mailto:p%d@example.org", id)))
+	p.AppendChild(email)
+	profile := xdm.NewElement("profile")
+	profile.SetAttr("income", fmt.Sprintf("%d", 20000+r.intn(80000)))
+	age := xdm.NewElement("age")
+	span := c.MaxAge - c.MinAge
+	if span <= 0 {
+		span = 1
+	}
+	age.AppendChild(xdm.NewText(fmt.Sprintf("%d", c.MinAge+r.intn(span))))
+	profile.AppendChild(age)
+	edu := xdm.NewElement("education")
+	edu.AppendChild(xdm.NewText([]string{"High School", "College", "Graduate School"}[r.intn(3)]))
+	profile.AppendChild(edu)
+	if c.FillerBytes > 0 {
+		desc := xdm.NewElement("description")
+		desc.AppendChild(xdm.NewText(r.filler(c.FillerBytes)))
+		profile.AppendChild(desc)
+	}
+	p.AppendChild(profile)
+	addr := xdm.NewElement("address")
+	city := xdm.NewElement("city")
+	city.AppendChild(xdm.NewText([]string{"Amsterdam", "Utrecht", "Delft", "Leiden"}[r.intn(4)]))
+	addr.AppendChild(city)
+	p.AppendChild(addr)
+	people.AppendChild(p)
+}
+
 // PeopleDocument generates the site/people document (xmk.xml).
 func PeopleDocument(c Config, uri string) *xdm.Document {
 	r := newRNG(c.Seed)
@@ -117,39 +154,7 @@ func PeopleDocument(c Config, uri string) *xdm.Document {
 	people := xdm.NewElement("people")
 	site.AppendChild(people)
 	for i := 0; i < c.Persons; i++ {
-		p := xdm.NewElement("person")
-		p.SetAttr("id", fmt.Sprintf("person%d", i))
-		name := xdm.NewElement("name")
-		name.AppendChild(xdm.NewText(
-			firstNames[r.intn(len(firstNames))] + " " + lastNames[r.intn(len(lastNames))]))
-		p.AppendChild(name)
-		email := xdm.NewElement("emailaddress")
-		email.AppendChild(xdm.NewText(fmt.Sprintf("mailto:p%d@example.org", i)))
-		p.AppendChild(email)
-		profile := xdm.NewElement("profile")
-		profile.SetAttr("income", fmt.Sprintf("%d", 20000+r.intn(80000)))
-		age := xdm.NewElement("age")
-		span := c.MaxAge - c.MinAge
-		if span <= 0 {
-			span = 1
-		}
-		age.AppendChild(xdm.NewText(fmt.Sprintf("%d", c.MinAge+r.intn(span))))
-		profile.AppendChild(age)
-		edu := xdm.NewElement("education")
-		edu.AppendChild(xdm.NewText([]string{"High School", "College", "Graduate School"}[r.intn(3)]))
-		profile.AppendChild(edu)
-		if c.FillerBytes > 0 {
-			desc := xdm.NewElement("description")
-			desc.AppendChild(xdm.NewText(r.filler(c.FillerBytes)))
-			profile.AppendChild(desc)
-		}
-		p.AppendChild(profile)
-		addr := xdm.NewElement("address")
-		city := xdm.NewElement("city")
-		city.AppendChild(xdm.NewText([]string{"Amsterdam", "Utrecht", "Delft", "Leiden"}[r.intn(4)]))
-		addr.AppendChild(city)
-		p.AppendChild(addr)
-		people.AppendChild(p)
+		appendPerson(people, r, c, i)
 	}
 	// site/regions/*/item: the bulk of an XMark site the query ignores.
 	regions := xdm.NewElement("regions")
@@ -269,4 +274,51 @@ func ProjectionQuery(peerName string) string {
 let $s := doc("xrpc://%s/xmk.xml")/child::site/child::people/child::person
 return for $x in $s return
        if ($x/descendant::age > 45) then $x else ()`, peerName)
+}
+
+// PeopleShardDocument generates the shard'th of `shards` horizontal
+// partitions of a people document: person ids are distributed round-robin
+// (person i lives on shard i%shards), so shard sizes stay balanced and ids
+// remain globally unique across the federation. The union of all shards
+// carries exactly the persons of cfg — the sharded-XMark scatter-gather
+// scenario queries every shard in place and gathers per-peer results.
+func PeopleShardDocument(c Config, shard, shards int, uri string) *xdm.Document {
+	if shards < 1 {
+		shards = 1
+	}
+	d := xdm.NewDocument(uri)
+	site := xdm.NewElement("site")
+	people := xdm.NewElement("people")
+	site.AppendChild(people)
+	for i := shard % shards; i < c.Persons; i += shards {
+		// Seed per person id, not per shard: person i carries identical
+		// content under every shard layout, so query results do not depend
+		// on how the federation is partitioned.
+		appendPerson(people, newRNG(c.Seed+uint64(i)*2654435761), c, i)
+	}
+	d.Root.AppendChild(site)
+	d.Freeze()
+	return d
+}
+
+// ScatterQuery returns the multi-peer scatter-gather query of the sharded
+// scenario: every peer evaluates the person filter over its local shard
+// (`doc("xmk.xml")` resolves peer-locally), and the originator's
+// variable-target loop gathers the per-peer results in peer order — the
+// `for $p in $peers return execute at $p {...}` shape that dispatches one
+// concurrent Bulk RPC per peer.
+func ScatterQuery(peers []string) string {
+	quoted := make([]string, len(peers))
+	for i, p := range peers {
+		// Escape for a double-quoted xq string literal: quotes double, and a
+		// bare ampersand would be read as an entity reference.
+		p = strings.ReplaceAll(p, "&", "&amp;")
+		quoted[i] = `"` + strings.ReplaceAll(p, `"`, `""`) + `"`
+	}
+	return fmt.Sprintf(`
+declare function young() as item()* {
+  for $x in doc("xmk.xml")/child::site/child::people/child::person
+  return if ($x/descendant::age < 40) then $x/child::name else ()
+};
+for $p in (%s) return execute at {$p} { young() }`, strings.Join(quoted, ", "))
 }

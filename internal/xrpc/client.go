@@ -12,6 +12,16 @@ import (
 	"distxq/internal/xq"
 )
 
+// Lane is one peer's request/response exchange within a dispatch wave. The
+// network cost model charges overlapped lanes the per-wave maximum instead
+// of the serial sum.
+type Lane struct {
+	Peer          string
+	BytesSent     int64
+	BytesReceived int64
+	RemoteExecNS  int64
+}
+
 // Metrics accumulates per-exchange measurements used by the benchmark
 // harness to reproduce the paper's bandwidth and time-breakdown figures.
 type Metrics struct {
@@ -24,6 +34,11 @@ type Metrics struct {
 	RemoteExecNS  int64 // as reported by the server
 	ServerSerdeNS int64 // server-side (de)serialization, as reported
 	RoundTripWall int64 // wall time of Transport.RoundTrip
+	// Waves records the dispatch structure for overlap-aware network
+	// accounting: each entry is one wave of exchanges that were in flight
+	// together. A sequential call appends a single-lane wave; a scatter
+	// dispatch appends one wave with a lane per destination peer.
+	Waves [][]Lane
 }
 
 // Add accumulates another metrics snapshot.
@@ -41,31 +56,63 @@ func (m *Metrics) Add(o *Metrics) {
 	m.RemoteExecNS += o.RemoteExecNS
 	m.ServerSerdeNS += o.ServerSerdeNS
 	m.RoundTripWall += o.RoundTripWall
+	for _, w := range o.Waves {
+		m.Waves = append(m.Waves, append([]Lane(nil), w...))
+	}
 }
 
-// Reset zeroes the metrics.
+// AddWave records one dispatch wave of overlapped exchanges.
+func (m *Metrics) AddWave(lanes []Lane) {
+	if m == nil || len(lanes) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Waves = append(m.Waves, append([]Lane(nil), lanes...))
+}
+
+// Reset zeroes the counters. It must not replace the struct wholesale: that
+// would clobber the held mutex and panic the deferred unlock.
 func (m *Metrics) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	*m = Metrics{}
+	m.Requests = 0
+	m.BytesSent = 0
+	m.BytesReceived = 0
+	m.SerializeNS = 0
+	m.DeserializeNS = 0
+	m.RemoteExecNS = 0
+	m.ServerSerdeNS = 0
+	m.RoundTripWall = 0
+	m.Waves = nil
 }
 
 // Snapshot returns a copy for reading.
 func (m *Metrics) Snapshot() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	waves := make([][]Lane, 0, len(m.Waves))
+	for _, w := range m.Waves {
+		waves = append(waves, append([]Lane(nil), w...))
+	}
 	return Metrics{
 		Requests: m.Requests, BytesSent: m.BytesSent, BytesReceived: m.BytesReceived,
 		SerializeNS: m.SerializeNS, DeserializeNS: m.DeserializeNS,
 		RemoteExecNS: m.RemoteExecNS, ServerSerdeNS: m.ServerSerdeNS,
-		RoundTripWall: m.RoundTripWall,
+		RoundTripWall: m.RoundTripWall, Waves: waves,
 	}
 }
 
 var clientFuncSeq atomic.Uint64
 
+// DefaultMaxConcurrent bounds the per-wave worker pool of scatter-gather
+// dispatch when Client.MaxConcurrent is zero.
+const DefaultMaxConcurrent = 8
+
 // Client executes XRPCExprs remotely over a Transport. It implements
-// eval.RemoteCaller, including Bulk RPC.
+// eval.RemoteCaller, including Bulk RPC and concurrent scatter-gather
+// dispatch (eval.ScatterCaller). A Client is safe for concurrent use when
+// its Transport is.
 type Client struct {
 	Transport Transport
 	Semantics Semantics
@@ -77,9 +124,13 @@ type Client struct {
 	ProjOpts projection.Options
 	// Metrics, when non-nil, accumulates exchange measurements.
 	Metrics *Metrics
+	// MaxConcurrent bounds the number of in-flight per-peer Bulk RPCs of one
+	// scatter wave; zero means DefaultMaxConcurrent.
+	MaxConcurrent int
 }
 
 var _ eval.RemoteCaller = (*Client)(nil)
+var _ eval.ScatterCaller = (*Client)(nil)
 
 // CallRemote implements eval.RemoteCaller for a single call.
 func (c *Client) CallRemote(target string, x *xq.XRPCExpr, params []xdm.Sequence) (xdm.Sequence, error) {
@@ -92,8 +143,63 @@ func (c *Client) CallRemote(target string, x *xq.XRPCExpr, params []xdm.Sequence
 
 // CallRemoteBulk implements Bulk RPC: all iterations travel in one message.
 func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, error) {
+	results, lane, err := c.callBulk(target, x, iterations)
+	if err != nil {
+		return nil, err
+	}
+	c.Metrics.AddWave([]Lane{lane})
+	return results, nil
+}
+
+// CallRemoteScatter implements eval.ScatterCaller: one Bulk RPC per batch,
+// dispatched concurrently through a bounded worker pool. Results and errors
+// are positional per batch; the successful exchanges are recorded as one
+// metrics wave so the cost model charges their transfers as overlapped.
+func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) ([][]xdm.Sequence, []error) {
+	results := make([][]xdm.Sequence, len(batches))
+	errs := make([]error, len(batches))
+	lanes := make([]Lane, len(batches))
+	width := c.MaxConcurrent
+	if width <= 0 {
+		width = DefaultMaxConcurrent
+	}
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for i := range batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], lanes[i], errs[i] = c.callBulk(batches[i].Target, x, batches[i].Iterations)
+		}(i)
+	}
+	wg.Wait()
+	var ok []Lane
+	for i := range lanes {
+		if errs[i] == nil {
+			ok = append(ok, lanes[i])
+		}
+	}
+	// Record the dispatch as waves no wider than the worker pool: with more
+	// batches than workers only `width` exchanges are ever in flight
+	// together, and the overlap model must not pretend otherwise.
+	for len(ok) > 0 {
+		n := width
+		if n > len(ok) {
+			n = len(ok)
+		}
+		c.Metrics.AddWave(ok[:n])
+		ok = ok[n:]
+	}
+	return results, errs
+}
+
+// callBulk performs one Bulk RPC exchange and accumulates its totals into
+// Metrics; the returned Lane lets the caller group exchanges into waves.
+func (c *Client) callBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, Lane, error) {
 	if containsRemote(x.Body) {
-		return nil, fmt.Errorf("xrpc: shipped function body contains a nested execute-at; " +
+		return nil, Lane{}, fmt.Errorf("xrpc: shipped function body contains a nested execute-at; " +
 			"the decomposer never generates these (fcn0 stays local)")
 	}
 	name := x.FuncName
@@ -128,24 +234,30 @@ func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xd
 	t0 := time.Now()
 	data, err := MarshalRequest(req, paramU, paramR, c.ProjOpts)
 	if err != nil {
-		return nil, err
+		return nil, Lane{}, err
 	}
 	serNS := time.Since(t0).Nanoseconds()
 	t1 := time.Now()
 	respData, err := c.Transport.RoundTrip(target, data)
 	wallNS := time.Since(t1).Nanoseconds()
 	if err != nil {
-		return nil, err
+		return nil, Lane{}, err
 	}
 	t2 := time.Now()
 	resp, err := ParseResponse(respData)
 	if err != nil {
-		return nil, err
+		return nil, Lane{}, err
 	}
 	deserNS := time.Since(t2).Nanoseconds()
 	if len(resp.Results) != len(iterations) {
-		return nil, fmt.Errorf("xrpc: response carries %d results for %d calls",
+		return nil, Lane{}, fmt.Errorf("xrpc: response carries %d results for %d calls",
 			len(resp.Results), len(iterations))
+	}
+	lane := Lane{
+		Peer:          target,
+		BytesSent:     int64(len(data)),
+		BytesReceived: int64(len(respData)),
+		RemoteExecNS:  resp.ExecNanos,
 	}
 	if c.Metrics != nil {
 		c.Metrics.Add(&Metrics{
@@ -159,7 +271,7 @@ func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xd
 			RoundTripWall: wallNS,
 		})
 	}
-	return resp.Results, nil
+	return resp.Results, lane, nil
 }
 
 // shipModule renders the self-contained function declaration shipped in the

@@ -1,6 +1,7 @@
 package xrpc
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -72,21 +73,21 @@ func (s *Server) Handle(request []byte) ([]byte, error) {
 			resultR = projection.PathSet{}.Add(projection.Path{})
 		}
 	}
-	resp.SerializeNanos = shredNS // accumulate shred + marshal below
+	resp.SerializeNanos = shredNS
 	data, err := MarshalResponse(resp, resultU, resultR, s.ProjOpts)
 	if err != nil {
 		return nil, err
 	}
 	marshalNS := time.Since(t2).Nanoseconds()
-	// The serde figure inside the message must be final before shipping;
-	// rebuild the message if the cheap first estimate was off by a lot is
-	// not worth it — instead fold marshal time into the metrics and message
-	// by re-marshalling once with the final number.
+	// The serde figure inside the message must include the marshal time just
+	// measured. Instead of re-marshalling the whole response, patch the
+	// serde-ns attribute in place: it is written in the response open tag,
+	// which precedes any payload bytes, so the first occurrence of the
+	// placeholder is always the attribute itself.
 	resp.SerializeNanos = shredNS + marshalNS
-	data, err = MarshalResponse(resp, resultU, resultR, s.ProjOpts)
-	if err != nil {
-		return nil, err
-	}
+	data = bytes.Replace(data,
+		[]byte(fmt.Sprintf(`serde-ns="%d"`, shredNS)),
+		[]byte(fmt.Sprintf(`serde-ns="%d"`, resp.SerializeNanos)), 1)
 	if s.Metrics != nil {
 		s.Metrics.Add(&Metrics{
 			Requests:      1,

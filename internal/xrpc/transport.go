@@ -39,7 +39,11 @@ func (t *InMemoryTransport) Register(peer string, h Handler) {
 	t.handlers[peer] = h
 }
 
-// RoundTrip implements Transport.
+// RoundTrip implements Transport. Handler failures travel back as SOAP
+// fault messages — exactly what an HTTP peer produces — so callers observe
+// the same *Fault through every transport (ParseResponse surfaces it). Only
+// an unknown peer is a transport-level error, the in-memory equivalent of a
+// connection failure.
 func (t *InMemoryTransport) RoundTrip(peer string, request []byte) ([]byte, error) {
 	t.mu.RLock()
 	h, ok := t.handlers[peer]
@@ -47,7 +51,11 @@ func (t *InMemoryTransport) RoundTrip(peer string, request []byte) ([]byte, erro
 	if !ok {
 		return nil, fmt.Errorf("xrpc: unknown peer %q", peer)
 	}
-	return h.Handle(request)
+	resp, err := h.Handle(request)
+	if err != nil {
+		return MarshalFault(err), nil
+	}
+	return resp, nil
 }
 
 // HTTPTransport performs XRPC over HTTP POST, the wire protocol of the
