@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distxq/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares rendered report output against the checked-in golden
+// file, so formatting changes are deliberate (run with -update to accept).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/figures -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestFigScatterGolden locks in the scatter report formatting with synthetic
+// (deterministic) measurements — live timings vary, the layout must not.
+func TestFigScatterGolden(t *testing.T) {
+	rows := []bench.ScatterRow{
+		{Peers: 1, Requests: 1, Parallelism: 1, SerialNetNS: 2_500_000, OverlapNetNS: 2_500_000, MaxPeerNS: 2_600_000, Speedup: 1},
+		{Peers: 2, Requests: 2, Parallelism: 2, SerialNetNS: 2_600_000, OverlapNetNS: 1_350_000, MaxPeerNS: 1_400_000, Speedup: 1.93},
+		{Peers: 4, Requests: 4, Parallelism: 4, SerialNetNS: 2_800_000, OverlapNetNS: 720_000, MaxPeerNS: 760_000, Speedup: 3.89},
+		{Peers: 8, Requests: 8, Parallelism: 8, SerialNetNS: 3_100_000, OverlapNetNS: 390_000, MaxPeerNS: 410_000, Speedup: 7.95},
+	}
+	var buf bytes.Buffer
+	bench.PrintFigScatter(&buf, 1<<21, rows)
+	checkGolden(t, "fig_scatter.golden", buf.Bytes())
+}
+
+// TestFigShardGolden locks in the shard-aware planner report formatting.
+func TestFigShardGolden(t *testing.T) {
+	rows := []bench.ShardRow{
+		{Peers: 1, HandRequests: 1, PlanRequests: 1, HandWaves: 1, PlanWaves: 1, Parallelism: 1, Scattered: true, ResultsEqual: true},
+		{Peers: 2, HandRequests: 2, PlanRequests: 2, HandWaves: 1, PlanWaves: 1, Parallelism: 2, Scattered: true, ResultsEqual: true},
+		{Peers: 4, HandRequests: 4, PlanRequests: 4, HandWaves: 1, PlanWaves: 1, Parallelism: 4, Scattered: true, ResultsEqual: true},
+		{Peers: 8, HandRequests: 8, PlanRequests: 8, HandWaves: 1, PlanWaves: 1, Parallelism: 8, Scattered: true, ResultsEqual: true},
+	}
+	var buf bytes.Buffer
+	bench.PrintFigShard(&buf, 1<<21, rows)
+	checkGolden(t, "fig_shard.golden", buf.Bytes())
+}
+
+// TestFigShardLive drives the real experiment at a small size: beyond the
+// formatting, the planner must actually match the hand-written plan.
+func TestFigShardLive(t *testing.T) {
+	rows, err := bench.FigShard(1<<16, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Scattered || !r.ResultsEqual {
+			t.Fatalf("planner diverged from hand-written scatter: %+v", r)
+		}
+		if r.HandRequests != r.PlanRequests || r.HandWaves != r.PlanWaves {
+			t.Fatalf("dispatch shape differs: %+v", r)
+		}
+	}
+}

@@ -32,6 +32,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print the decomposed query instead of executing")
 	var docs docFlags
 	flag.Var(&docs, "doc", "peer/name=path of a document (repeatable)")
+	var shards docFlags
+	flag.Var(&shards, "shard",
+		"logicalURI=shardPath@recordPath@peer1,peer2,... — register a sharded logical document (repeatable)")
 	flag.Parse()
 
 	var src string
@@ -84,6 +87,13 @@ func main() {
 	}
 	local := net.AddPeer("local")
 	sess := net.NewSession(local, strat)
+	for _, spec := range shards {
+		m, err := parseShardMap(spec)
+		if err != nil {
+			fail(err)
+		}
+		sess.UseShards(m)
+	}
 	res, rep, err := sess.Query(src)
 	if err != nil {
 		fail(err)
@@ -91,6 +101,31 @@ func main() {
 	fmt.Println(distxq.Serialize(res))
 	fmt.Fprintf(os.Stderr, "-- %s: %d B documents + %d B messages in %d exchanges\n",
 		strat, rep.DocBytes, rep.MsgBytes, rep.Requests)
+	for _, d := range rep.Shards {
+		if d.Scattered {
+			fmt.Fprintf(os.Stderr, "-- shard rewrite: %s scattered\n", d.Logical)
+		} else {
+			fmt.Fprintf(os.Stderr, "-- shard rewrite: %s fell back: %s\n", d.Logical, d.Reason)
+		}
+	}
+}
+
+// parseShardMap reads a -shard spec: logicalURI=shardPath@recordPath@peers.
+func parseShardMap(spec string) (distxq.ShardMap, error) {
+	logical, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return distxq.ShardMap{}, fmt.Errorf("want logicalURI=shardPath@recordPath@peers, got %q", spec)
+	}
+	parts := strings.SplitN(rest, "@", 3)
+	if len(parts) != 3 {
+		return distxq.ShardMap{}, fmt.Errorf("want logicalURI=shardPath@recordPath@peers, got %q", spec)
+	}
+	return distxq.ShardMap{
+		Logical:    logical,
+		ShardPath:  parts[0],
+		RecordPath: parts[1],
+		Peers:      strings.Split(parts[2], ","),
+	}, nil
 }
 
 func parseStrategy(s string) (distxq.Strategy, error) {

@@ -62,6 +62,18 @@ type Session = peer.Session
 // Report carries per-query bandwidth and phase-time measurements.
 type Report = peer.Report
 
+// ShardMap describes one logical document horizontally partitioned across
+// peers; install it on a Session (Session.UseShards) to let the planner
+// rewrite queries over the logical URI into concurrent scatter plans.
+type ShardMap = core.ShardMap
+
+// ShardDecision records one shard-rewrite outcome on a Report.
+type ShardDecision = core.ShardDecision
+
+// ErrUnknownShardPeer is returned when a shard map names a peer absent from
+// the federation.
+var ErrUnknownShardPeer = core.ErrUnknownShardPeer
+
 // Sequence is an XQuery result sequence.
 type Sequence = xdm.Sequence
 
@@ -141,6 +153,17 @@ func XMarkPeopleShard(c XMarkConfig, shard, shards int, uri string) *xdm.Documen
 // people federation: `for $p in $peers return execute at $p {...}`, which
 // the engine dispatches as one concurrent Bulk RPC per peer.
 func ScatterQuery(peers []string) string { return xmark.ScatterQuery(peers) }
+
+// XMarkPeopleShardMap registers a sharded people federation as the logical
+// document XMarkLogicalPeopleURI for the shard-aware planner.
+func XMarkPeopleShardMap(peers []string) ShardMap { return xmark.PeopleShardMap(peers) }
+
+// XMarkLogicalPeopleURI is the logical URI of the sharded people document.
+const XMarkLogicalPeopleURI = xmark.LogicalPeopleURI
+
+// LogicalScatterQuery states the scatter workload against the logical people
+// document; the shard-aware planner synthesizes the `execute at` loop.
+func LogicalScatterQuery() string { return xmark.LogicalScatterQuery() }
 
 // XMarkAuctions generates the site/open_auctions benchmark document.
 func XMarkAuctions(c XMarkConfig, uri string) *xdm.Document { return xmark.AuctionsDocument(c, uri) }

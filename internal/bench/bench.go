@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"distxq/internal/core"
@@ -297,6 +298,9 @@ type ScatterFixture struct {
 	Peers      []string
 	Query      string
 	TotalBytes int64
+	// ShardMap registers the federation as one logical document for the
+	// shard-aware planner experiment (RunLogical).
+	ShardMap core.ShardMap
 }
 
 // NewScatterFixture shards roughly totalBytes of people data across the
@@ -314,6 +318,7 @@ func NewScatterFixture(totalBytes int64, peers int) *ScatterFixture {
 	}
 	f.Local = n.AddPeer("local")
 	f.Query = xmark.ScatterQuery(f.Peers)
+	f.ShardMap = xmark.PeopleShardMap(f.Peers)
 	return f
 }
 
@@ -323,6 +328,14 @@ func (f *ScatterFixture) Run(strat core.Strategy, sequential bool) (xdm.Sequence
 	sess := f.Net.NewSession(f.Local, strat)
 	sess.SequentialScatter = sequential
 	return sess.Query(f.Query)
+}
+
+// RunLogical executes the same workload written against the logical document
+// (no hand-written `execute at`); the shard-aware planner must synthesize the
+// scatter plan.
+func (f *ScatterFixture) RunLogical(strat core.Strategy) (xdm.Sequence, *peer.Report, error) {
+	sess := f.Net.NewSession(f.Local, strat).UseShards(f.ShardMap)
+	return sess.Query(xmark.LogicalScatterQuery())
 }
 
 // ScatterRow is one measurement of the scatter-gather experiment.
@@ -372,5 +385,84 @@ func PrintFigScatter(w io.Writer, totalBytes int64, rows []ScatterRow) {
 		fmt.Fprintf(w, "%6d %9d %12d %14s %14s %14s %8.2fx\n",
 			r.Peers, r.Requests, r.Parallelism,
 			fmtNS(r.SerialNetNS), fmtNS(r.OverlapNetNS), fmtNS(r.MaxPeerNS), r.Speedup)
+	}
+}
+
+// ShardRow is one measurement of the shard-aware planner experiment: the
+// hand-written scatter query against the planner-produced plan for the same
+// workload stated over the logical document.
+type ShardRow struct {
+	Peers        int
+	HandRequests int64
+	PlanRequests int64
+	HandWaves    int64
+	PlanWaves    int64
+	Parallelism  int
+	Scattered    bool
+	ResultsEqual bool
+}
+
+// FigShard sweeps peer counts and checks the planner-produced scatter plan
+// dispatches exactly like the hand-written one (same requests, same wave
+// structure, identical results).
+func FigShard(totalBytes int64, peerCounts []int) ([]ShardRow, error) {
+	var out []ShardRow
+	for _, pc := range peerCounts {
+		f := NewScatterFixture(totalBytes, pc)
+		handRes, handRep, err := f.Run(core.ByFragment, false)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d peers (hand-written): %w", pc, err)
+		}
+		planRes, planRep, err := f.RunLogical(core.ByFragment)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d peers (planner): %w", pc, err)
+		}
+		scattered := len(planRep.Shards) > 0 && planRep.Shards[0].Scattered
+		out = append(out, ShardRow{
+			Peers:        pc,
+			HandRequests: handRep.Requests,
+			PlanRequests: planRep.Requests,
+			HandWaves:    handRep.Waves,
+			PlanWaves:    planRep.Waves,
+			Parallelism:  planRep.Parallelism,
+			Scattered:    scattered,
+			ResultsEqual: serializeSeq(handRes) == serializeSeq(planRes),
+		})
+	}
+	return out, nil
+}
+
+func serializeSeq(s xdm.Sequence) string {
+	var sb strings.Builder
+	for i, it := range s {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch v := it.(type) {
+		case *xdm.Node:
+			sb.WriteString(xdm.SerializeString(v))
+		case xdm.Atomic:
+			sb.WriteString(v.ItemString())
+		}
+	}
+	return sb.String()
+}
+
+// PrintFigShard renders the shard-aware planner table.
+func PrintFigShard(w io.Writer, totalBytes int64, rows []ShardRow) {
+	fmt.Fprintf(w, "Shard-aware planner — logical people document (%s total), planner vs hand-written scatter\n",
+		fmtBytes(totalBytes))
+	fmt.Fprintf(w, "%6s %15s %12s %12s %10s %8s\n",
+		"peers", "requests(h/p)", "waves(h/p)", "parallelism", "decision", "equal")
+	for _, r := range rows {
+		decision := "fallback"
+		if r.Scattered {
+			decision = "scatter"
+		}
+		fmt.Fprintf(w, "%6d %15s %12s %12d %10s %8v\n",
+			r.Peers,
+			fmt.Sprintf("%d/%d", r.HandRequests, r.PlanRequests),
+			fmt.Sprintf("%d/%d", r.HandWaves, r.PlanWaves),
+			r.Parallelism, decision, r.ResultsEqual)
 	}
 }

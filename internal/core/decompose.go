@@ -17,6 +17,13 @@ type Options struct {
 	// solely depend on a function parameter move to the caller side as
 	// additional parameters.
 	CodeMotion bool
+	// Shards lists shard maps describing logical documents partitioned
+	// across peers; the decomposer then runs the shard-aware rewrite pass
+	// (shardRewrite) before choosing ordinary decomposition points.
+	Shards []ShardMap
+	// KnownPeers, when non-nil, is the engine's peer set; Decompose fails
+	// with ErrUnknownShardPeer when a shard map names a peer outside it.
+	KnownPeers map[string]bool
 }
 
 // DefaultOptions is the configuration the evaluation section uses.
@@ -36,6 +43,10 @@ type Plan struct {
 	Strategy  Strategy
 	Remotes   []RemoteSite
 	Relatives map[*xq.XRPCExpr]projection.RelativePaths
+	// Shards records the outcome of every shard-rewrite candidate: which
+	// logical-document expressions became scatter loops and which fell back
+	// to local evaluation over the materialized union, and why.
+	Shards []ShardDecision
 }
 
 // Decompose rewrites q in place into an equivalent distributed query under
@@ -47,11 +58,23 @@ func Decompose(q *xq.Query, strat Strategy, opts Options) (*Plan, error) {
 	if err := xq.Normalize(q); err != nil {
 		return nil, err
 	}
+	if err := validateShards(opts); err != nil {
+		return nil, err
+	}
 	plan := &Plan{Query: q, Strategy: strat, Relatives: map[*xq.XRPCExpr]projection.RelativePaths{}}
 	if strat == DataShipping {
+		// No decomposition at all: logical documents materialize their union
+		// at the originator (the resolver's data-shipping model).
 		return plan, nil
 	}
 	AlphaRename(q)
+	if len(opts.Shards) > 0 {
+		dec, err := shardRewrite(q, strat, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		plan.Shards = dec
+	}
 	if opts.SinkLets {
 		SinkLets(q)
 	}

@@ -83,6 +83,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	docCache map[string]*docEntry
+	logical  map[string]func() (*xdm.Document, error)
 
 	// Stats counts work done, for the benchmark harness. Guarded by mu
 	// while queries are in flight; read it via StatsSnapshot.
@@ -113,6 +114,21 @@ func NewEngine(r Resolver) *Engine {
 	return &Engine{Resolver: r, Static: DefaultStatic()}
 }
 
+// RegisterLogical installs a builder for a logical document URI: fn:doc(uri)
+// resolves by invoking the builder instead of the Resolver, cached and
+// single-flighted like any other document. Sessions over sharded federations
+// use it so a logical document that could not be rewritten into the scatter
+// form still evaluates — the builder materializes the union of shards.
+// Registration must happen before queries resolve the URI.
+func (e *Engine) RegisterLogical(uri string, build func() (*xdm.Document, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.logical == nil {
+		e.logical = map[string]func() (*xdm.Document, error){}
+	}
+	e.logical[uri] = build
+}
+
 // Doc resolves and caches a document by URI. Two fn:doc calls for the same
 // URI observe the same node identities, as XQuery requires — including two
 // concurrent calls, which single-flight through one cache entry instead of
@@ -127,16 +143,22 @@ func (e *Engine) Doc(uri string) (*xdm.Document, error) {
 		ent = &docEntry{}
 		e.docCache[uri] = ent
 	}
+	build := e.logical[uri]
 	e.mu.Unlock()
 	ent.once.Do(func() {
 		// Pre-set the error so a panicking resolver (recovered further up,
 		// e.g. by net/http) cannot leave a done entry with doc=nil, err=nil.
 		ent.err = fmt.Errorf("eval: doc(%q): resolution did not complete", uri)
-		if e.Resolver == nil {
-			ent.err = fmt.Errorf("eval: no resolver configured for doc(%q)", uri)
-			return
+		resolve := func(uri string) (*xdm.Document, error) {
+			if build != nil {
+				return build()
+			}
+			if e.Resolver == nil {
+				return nil, fmt.Errorf("no resolver configured")
+			}
+			return e.Resolver.ResolveDoc(uri)
 		}
-		d, err := e.Resolver.ResolveDoc(uri)
+		d, err := resolve(uri)
 		if err != nil {
 			ent.err = fmt.Errorf("eval: doc(%q): %w", uri, err)
 			return

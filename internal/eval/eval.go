@@ -877,11 +877,25 @@ func hoistInvariantOperands(body xq.Expr, loopVar string) (xq.Expr, []hoistBindi
 		}
 		ok := true
 		xq.Walk(e, func(sub xq.Expr) bool {
-			switch sub.(type) {
+			switch v := sub.(type) {
 			case *xq.ElemConstructor, *xq.AttrConstructor, *xq.TextConstructor,
 				*xq.DocConstructor, *xq.XRPCExpr, *xq.ExecuteAt:
 				ok = false // per-iteration node identity / remote calls
 				return false
+			case *xq.ContextItem, *xq.RootExpr:
+				ok = false // reads the dynamic context item
+				return false
+			case *xq.PathExpr:
+				if v.Input == nil {
+					ok = false // relative path: starts at the context item
+					return false
+				}
+			case *xq.FunCall:
+				switch strings.TrimPrefix(v.Name, "fn:") {
+				case "position", "last":
+					ok = false // reads the dynamic focus
+					return false
+				}
 			}
 			return true
 		})
@@ -935,6 +949,10 @@ func hoistInvariantOperands(body xq.Expr, loopVar string) (xq.Expr, []hoistBindi
 				visit(cs.Return, withBound(bound, cs.Var))
 			}
 			visit(v.Default, withBound(bound, v.DefaultVar))
+		case *xq.XRPCExpr:
+			// Never hoist out of a shipped body: it evaluates on the remote
+			// peer, where caller-side hoist bindings do not exist.
+			visit(v.Target, bound)
 		default:
 			for _, ch := range xq.Children(e) {
 				visit(ch, bound)

@@ -72,6 +72,18 @@ func (n *Network) Peer(name string) (*Peer, bool) {
 	return p, ok
 }
 
+// PeerNames returns the set of registered peer names — the engine peer set
+// the decomposer validates shard maps against.
+func (n *Network) PeerNames() map[string]bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[string]bool, len(n.peers))
+	for name := range n.peers {
+		out[name] = true
+	}
+	return out
+}
+
 // LoadXML parses and stores a document under the given path.
 func (p *Peer) LoadXML(path, xmlText string) error {
 	d, err := xdm.ParseString(xmlText, "xrpc://"+p.Name+"/"+path)
@@ -190,6 +202,10 @@ type Report struct {
 	SerdeNS      int64 // client+server message (de)serialization
 	RemoteExecNS int64 // remote function evaluation (overlapped: per-wave max)
 	NetworkNS    int64 // simulated transfer time (overlapped: per-wave max)
+	// Shards reports the planner's shard-rewrite decisions: which
+	// logical-document expressions became scatter loops and which fell back
+	// to materialized-union evaluation, with the violated condition.
+	Shards []core.ShardDecision
 }
 
 // TotalBytes is the Figure 7 metric: documents plus messages.
@@ -208,7 +224,19 @@ type Session struct {
 	// variable-target loops, forcing one Bulk RPC at a time — the serial
 	// baseline the scatter-gather benchmarks compare against.
 	SequentialScatter bool
-	net               *Network
+	// Shards installs shard maps: the planner may rewrite queries over each
+	// logical document into the concurrent scatter form, and the logical URI
+	// also resolves at the originator by materializing the union of shards
+	// (the fallback path).
+	Shards []core.ShardMap
+	net    *Network
+}
+
+// UseShards installs shard maps on the session (see Shards) and returns the
+// session for chaining.
+func (s *Session) UseShards(maps ...core.ShardMap) *Session {
+	s.Shards = append(s.Shards, maps...)
+	return s
 }
 
 // NewSession creates a query session originating at the given peer (the
@@ -240,7 +268,12 @@ func (s *Session) Query(src string) (xdm.Sequence, *Report, error) {
 
 // QueryParsed decomposes and executes a parsed query.
 func (s *Session) QueryParsed(q *xq.Query) (xdm.Sequence, *Report, error) {
-	plan, err := core.Decompose(q, s.Strategy, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Shards = s.Shards
+	if len(s.Shards) > 0 {
+		opts.KnownPeers = s.net.PeerNames()
+	}
+	plan, err := core.Decompose(q, s.Strategy, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -255,7 +288,18 @@ func (s *Session) ExecutePlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 
 func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	ship := &shipStats{}
-	engine := eval.NewEngine(&peerResolver{peer: s.Origin, shipStats: ship})
+	resolver := &peerResolver{peer: s.Origin, shipStats: ship}
+	engine := eval.NewEngine(resolver)
+	// Logical documents resolve at the originator by materializing the
+	// union of shards; each shard transfer is accounted as data shipping.
+	for _, m := range s.Shards {
+		m := m
+		engine.RegisterLogical(m.Logical, func() (*xdm.Document, error) {
+			return m.Materialize(m.Logical, func(peerName string) (*xdm.Document, error) {
+				return resolver.ResolveDoc("xrpc://" + peerName + "/" + m.ShardPath)
+			})
+		})
+	}
 	metrics := &xrpc.Metrics{}
 	if s.Strategy != core.DataShipping {
 		client := &xrpc.Client{
@@ -288,6 +332,7 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 		Waves:    int64(len(m.Waves)),
 		ShredNS:  ship.shredNS.Load(),
 		SerdeNS:  m.SerializeNS + m.DeserializeNS + m.ServerSerdeNS,
+		Shards:   plan.Shards,
 	}
 	// Simulated network and remote execution, wave by wave: exchanges that
 	// were in flight together cost their per-wave maximum (the slowest peer

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"distxq/internal/core"
 	"distxq/internal/xdm"
 )
 
@@ -299,6 +300,43 @@ func PeopleShardDocument(c Config, shard, shards int, uri string) *xdm.Document 
 	d.Root.AppendChild(site)
 	d.Freeze()
 	return d
+}
+
+// LogicalPeopleURI is the URI under which a sharded people federation
+// registers as one logical document. Queries name it in fn:doc() and the
+// shard-aware planner rewrites them into the scatter form (or the engine
+// materializes the union of shards when the rewrite must fall back). The
+// scheme is deliberately not xrpc://: a logical document has no single
+// owning host for the ordinary decomposition to target.
+const LogicalPeopleURI = "shard://xmark/people"
+
+// PeopleShardPath is the peer-local document path every shard of the people
+// federation is stored under.
+const PeopleShardPath = "xmk.xml"
+
+// PeopleRecordPath is the rooted path to the partitioned record sequence of
+// the people document.
+const PeopleRecordPath = "child::site/child::people/child::person"
+
+// PeopleShardMap returns the shard map registering the sharded people
+// federation (one PeopleShardDocument per peer, all stored as xmk.xml) as
+// the logical document LogicalPeopleURI.
+func PeopleShardMap(peers []string) core.ShardMap {
+	return core.ShardMap{
+		Logical:    LogicalPeopleURI,
+		Peers:      append([]string(nil), peers...),
+		ShardPath:  PeopleShardPath,
+		RecordPath: PeopleRecordPath,
+	}
+}
+
+// LogicalScatterQuery states the ScatterQuery workload against the logical
+// document instead of hand-written `execute at` loops: the shard-aware
+// planner must synthesize the same one-Bulk-RPC-per-peer scatter plan from
+// it.
+func LogicalScatterQuery() string {
+	return fmt.Sprintf(`for $x in doc(%q)/child::site/child::people/child::person
+return if ($x/descendant::age < 40) then $x/child::name else ()`, LogicalPeopleURI)
 }
 
 // ScatterQuery returns the multi-peer scatter-gather query of the sharded
