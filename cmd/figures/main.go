@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream")
 	size := flag.Int64("size", 1<<21, "largest combined document size in bytes")
 	steps := flag.Int("steps", 5, "number of sizes in the sweep (halving per step)")
 	maxPeers := flag.Int("peers", 8, "largest peer count of the scatter sweep (doubling from 1)")
@@ -82,6 +82,18 @@ func main() {
 			return err
 		}
 		bench.PrintFigScatter(os.Stdout, *size, rows)
+		return nil
+	})
+	run("stream", func() error {
+		var counts []int
+		for p := 1; p <= *maxPeers; p *= 2 {
+			counts = append(counts, p)
+		}
+		rows, err := bench.FigStream(*size, counts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigStream(os.Stdout, *size, rows)
 		return nil
 	})
 	run("shard", func() error {

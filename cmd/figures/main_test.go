@@ -62,6 +62,55 @@ func TestFigShardGolden(t *testing.T) {
 	checkGolden(t, "fig_shard.golden", buf.Bytes())
 }
 
+// TestFigStreamGolden locks in the streaming report formatting with
+// synthetic (deterministic) measurements.
+func TestFigStreamGolden(t *testing.T) {
+	rows := []bench.StreamRow{
+		{Peers: 1, Chunks: 29, GatherFirstNS: 4_960_000, StreamFirstNS: 2_080_000, FirstSpeedup: 2.38,
+			GatherTotalNS: 5_510_000, StreamTotalNS: 4_960_000, TotalSpeedup: 1.11, ResultsEqual: true},
+		{Peers: 2, Chunks: 30, GatherFirstNS: 2_150_000, StreamFirstNS: 1_220_000, FirstSpeedup: 1.76,
+			GatherTotalNS: 4_800_000, StreamTotalNS: 3_560_000, TotalSpeedup: 1.35, ResultsEqual: true},
+		{Peers: 4, Chunks: 32, GatherFirstNS: 1_330_000, StreamFirstNS: 782_000, FirstSpeedup: 1.71,
+			GatherTotalNS: 2_600_000, StreamTotalNS: 1_830_000, TotalSpeedup: 1.42, ResultsEqual: true},
+		{Peers: 8, Chunks: 32, GatherFirstNS: 885_000, StreamFirstNS: 634_000, FirstSpeedup: 1.40,
+			GatherTotalNS: 1_520_000, StreamTotalNS: 1_400_000, TotalSpeedup: 1.09, ResultsEqual: true},
+	}
+	var buf bytes.Buffer
+	bench.PrintFigStream(&buf, 1<<21, rows)
+	checkGolden(t, "fig_stream.golden", buf.Bytes())
+}
+
+// TestFigStreamLive drives the real streaming experiment at a small size:
+// streamed results must be byte-identical to gather-whole, several chunk
+// frames must actually flow, the first result must be available before the
+// gather-whole baseline has even completed, and the streamed pipeline must
+// complete strictly below the gather-whole model of the same lanes.
+func TestFigStreamLive(t *testing.T) {
+	old := bench.StreamReps
+	bench.StreamReps = 1
+	defer func() { bench.StreamReps = old }()
+	rows, err := bench.FigStream(1<<19, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.ResultsEqual {
+			t.Fatalf("streamed result diverged from gather-whole: %+v", r)
+		}
+		if r.Chunks < int64(r.Peers)+2 {
+			t.Fatalf("only %d chunk frames at %d peers — streaming did not chunk", r.Chunks, r.Peers)
+		}
+		if r.StreamFirstNS >= r.GatherTotalNS {
+			t.Fatalf("first streamed result (%dns) not before gather completion (%dns): %+v",
+				r.StreamFirstNS, r.GatherTotalNS, r)
+		}
+		if r.StreamTotalNS >= r.GatherTotalNS {
+			t.Fatalf("streamed total %dns not strictly below gather-whole %dns: %+v",
+				r.StreamTotalNS, r.GatherTotalNS, r)
+		}
+	}
+}
+
 // TestFigShardLive drives the real experiment at a small size: beyond the
 // formatting, the planner must actually match the hand-written plan.
 func TestFigShardLive(t *testing.T) {

@@ -8,7 +8,9 @@
 //
 // Documents register as xrpc://peer/name; the query runs at a local
 // originator peer under the chosen strategy and the tool prints the result
-// plus the transfer report.
+// plus the transfer report. Remote xqpeer daemons join the federation via
+// -peer name=http://host:port — execute-at calls naming them travel over
+// HTTP (streamed when -stream is set and the daemon serves /xrpc/stream).
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"distxq"
+	"distxq/internal/xrpc"
 )
 
 type docFlags []string
@@ -35,6 +38,11 @@ func main() {
 	var shards docFlags
 	flag.Var(&shards, "shard",
 		"logicalURI=shardPath@recordPath@peer1,peer2,... — register a sharded logical document (repeatable)")
+	var httpPeers docFlags
+	flag.Var(&httpPeers, "peer",
+		"name=baseURL of a remote xqpeer daemon reached over HTTP (repeatable)")
+	streamed := flag.Bool("stream", false,
+		"dispatch scatter loops over streaming XRPC (chunked result streams)")
 	flag.Parse()
 
 	var src string
@@ -85,8 +93,19 @@ func main() {
 			fail(err)
 		}
 	}
+	for _, spec := range httpPeers {
+		name, baseURL, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("want name=baseURL, got %q", spec))
+		}
+		url := strings.TrimSuffix(baseURL, "/") + "/xrpc"
+		net.RouteExternal(name, &xrpc.HTTPTransport{
+			URLFor: func(string) string { return url },
+		})
+	}
 	local := net.AddPeer("local")
 	sess := net.NewSession(local, strat)
+	sess.Streamed = *streamed
 	for _, spec := range shards {
 		m, err := parseShardMap(spec)
 		if err != nil {

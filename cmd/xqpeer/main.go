@@ -35,6 +35,8 @@ func (d docFlags) Set(v string) error {
 
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
+	chunkItems := flag.Int("chunk-items", 0,
+		"result items per streamed response chunk (0 = default)")
 	docs := docFlags{}
 	flag.Var(docs, "doc", "name=path of a document to serve (repeatable)")
 	flag.Parse()
@@ -65,8 +67,11 @@ func main() {
 		}
 		return nil, fmt.Errorf("no such document %q", uri)
 	}))
-	srv := &xrpc.Server{Engine: engine}
+	srv := &xrpc.Server{Engine: engine, ChunkItems: *chunkItems}
 	http.Handle("/xrpc", xrpc.NewHTTPHandler(srv))
+	// Streaming endpoint: results leave as chunk frames while later calls
+	// are still evaluating.
+	http.Handle("/xrpc/stream", xrpc.NewStreamHTTPHandler(srv))
 	fmt.Printf("xqpeer listening on %s\n", *listen)
 	if err := http.ListenAndServe(*listen, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "xqpeer: %v\n", err)

@@ -338,6 +338,15 @@ func (f *ScatterFixture) RunLogical(strat core.Strategy) (xdm.Sequence, *peer.Re
 	return sess.Query(xmark.LogicalScatterQuery())
 }
 
+// RunStreamed executes the scatter query with streamed dispatch: per-peer
+// results arrive as chunk frames consumed in loop order instead of whole
+// gathered responses.
+func (f *ScatterFixture) RunStreamed(strat core.Strategy) (xdm.Sequence, *peer.Report, error) {
+	sess := f.Net.NewSession(f.Local, strat)
+	sess.Streamed = true
+	return sess.Query(f.Query)
+}
+
 // ScatterRow is one measurement of the scatter-gather experiment.
 type ScatterRow struct {
 	Peers        int
@@ -385,6 +394,101 @@ func PrintFigScatter(w io.Writer, totalBytes int64, rows []ScatterRow) {
 		fmt.Fprintf(w, "%6d %9d %12d %14s %14s %14s %8.2fx\n",
 			r.Peers, r.Requests, r.Parallelism,
 			fmtNS(r.SerialNetNS), fmtNS(r.OverlapNetNS), fmtNS(r.MaxPeerNS), r.Speedup)
+	}
+}
+
+// StreamRow is one measurement of the streaming XRPC experiment: the same
+// sharded scatter workload dispatched gather-whole and streamed, under the
+// netsim pipeline model (server compute, transfer and originator decode
+// overlapping chunk by chunk).
+type StreamRow struct {
+	Peers  int
+	Chunks int64 // response chunk frames received by the streamed run
+	// Gather-whole baseline: no result usable before the slowest lane's
+	// whole response arrived and was decoded. GatherFirstNS comes from the
+	// gather-whole run; GatherTotalNS is the same-trace counterfactual —
+	// the gather-whole model applied to the streamed run's measured lanes —
+	// so the total-time comparison contrasts the two models on identical
+	// measured compute/transfer/decode costs instead of on two noisy runs.
+	GatherFirstNS int64
+	GatherTotalNS int64
+	// Streamed: first chunk of the fastest lane / last chunk of the slowest.
+	StreamFirstNS int64
+	StreamTotalNS int64
+	FirstSpeedup  float64
+	TotalSpeedup  float64
+	// ResultsEqual: the streamed run's serialized result is byte-identical
+	// to the gather-whole run's.
+	ResultsEqual bool
+}
+
+// StreamReps is how often FigStream repeats each configuration, keeping the
+// fastest run per mode: the netsim pipeline model consumes single-shot wall
+// measurements (per-call evaluation, per-chunk decode), so the minimum is
+// the standard de-noising for the comparison.
+var StreamReps = 5
+
+// FigStream sweeps peer counts at a fixed total data size, comparing
+// gather-whole against streamed scatter on the sharded people document.
+func FigStream(totalBytes int64, peerCounts []int) ([]StreamRow, error) {
+	var out []StreamRow
+	for _, pc := range peerCounts {
+		f := NewScatterFixture(totalBytes, pc)
+		row := StreamRow{Peers: pc, ResultsEqual: true}
+		var gSer, sSer string
+		for rep := 0; rep < StreamReps; rep++ {
+			gRes, gRep, err := f.Run(core.ByFragment, false)
+			if err != nil {
+				return nil, fmt.Errorf("stream %d peers (gather): %w", pc, err)
+			}
+			sRes, sRep, err := f.RunStreamed(core.ByFragment)
+			if err != nil {
+				return nil, fmt.Errorf("stream %d peers (streamed): %w", pc, err)
+			}
+			if rep == 0 {
+				gSer, sSer = serializeSeq(gRes), serializeSeq(sRes)
+				row.ResultsEqual = gSer == sSer
+				row.Chunks = sRep.StreamedChunks
+			}
+			if rep == 0 || gRep.FirstResultNS < row.GatherFirstNS {
+				row.GatherFirstNS = gRep.FirstResultNS
+			}
+			// Per-rep GatherNS ≥ PipelineNS (same lanes, no overlap), so
+			// taking each minimum independently preserves the inequality.
+			if rep == 0 || sRep.GatherNS < row.GatherTotalNS {
+				row.GatherTotalNS = sRep.GatherNS
+			}
+			if rep == 0 || sRep.FirstResultNS < row.StreamFirstNS {
+				row.StreamFirstNS = sRep.FirstResultNS
+			}
+			if rep == 0 || sRep.PipelineNS < row.StreamTotalNS {
+				row.StreamTotalNS = sRep.PipelineNS
+			}
+		}
+		if row.StreamFirstNS > 0 {
+			row.FirstSpeedup = float64(row.GatherFirstNS) / float64(row.StreamFirstNS)
+		}
+		if row.StreamTotalNS > 0 {
+			row.TotalSpeedup = float64(row.GatherTotalNS) / float64(row.StreamTotalNS)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintFigStream renders the streaming experiment table.
+func PrintFigStream(w io.Writer, totalBytes int64, rows []StreamRow) {
+	fmt.Fprintf(w, "Streaming XRPC — sharded people document (%s total), streamed vs gather-whole scatter\n",
+		fmtBytes(totalBytes))
+	fmt.Fprintf(w, "%6s %7s %13s %13s %8s %13s %13s %8s %6s\n",
+		"peers", "chunks", "first/gather", "first/stream", "speedup",
+		"total/gather", "total/stream", "speedup", "equal")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %7d %13s %13s %7.2fx %13s %13s %7.2fx %6v\n",
+			r.Peers, r.Chunks,
+			fmtNS(r.GatherFirstNS), fmtNS(r.StreamFirstNS), r.FirstSpeedup,
+			fmtNS(r.GatherTotalNS), fmtNS(r.StreamTotalNS), r.TotalSpeedup,
+			r.ResultsEqual)
 	}
 }
 

@@ -57,6 +57,34 @@ type ScatterCaller interface {
 	CallRemoteScatter(x *xq.XRPCExpr, batches []ScatterBatch) ([][]xdm.Sequence, []error)
 }
 
+// StreamChunk is one increment of a streamed scatter lane: a run of
+// consecutive result items belonging to one iteration of the lane's batch.
+// A lane yields chunks with nondecreasing Iteration (all chunks of an
+// iteration precede the first chunk of the next), every iteration of the
+// batch appears in at least one chunk (possibly with an empty Items run),
+// and the lane's channel is closed after the final chunk. A chunk with Err
+// set is terminal for the lane: the batch failed and no further chunks
+// follow.
+type StreamChunk struct {
+	// Iteration indexes into the batch's Iterations.
+	Iteration int
+	// Items is the next run of result items of that iteration.
+	Items xdm.Sequence
+	// Err, when non-nil, reports the lane's failure (terminal).
+	Err error
+}
+
+// StreamCaller is an optional ScatterCaller extension: dispatch like
+// CallRemoteScatter, but yield each batch's results incrementally over a
+// bounded channel per batch, so the evaluator can process finished lanes
+// while slower peers are still computing and transferring. The returned
+// cancel function must release every in-flight lane (producers blocked on a
+// full channel included); the consumer calls it once it stops reading —
+// whether it drained every lane or aborted early on an error.
+type StreamCaller interface {
+	CallRemoteScatterStream(x *xq.XRPCExpr, batches []ScatterBatch) (lanes []<-chan StreamChunk, cancel func())
+}
+
 // StaticContext carries the static-context values that XRPC propagates to
 // remote peers (Problem 5, class 1).
 type StaticContext struct {
@@ -98,6 +126,9 @@ type Stats struct {
 	// ScatterWaves counts variable-target loops dispatched as one
 	// concurrent wave of per-peer Bulk RPCs.
 	ScatterWaves int
+	// StreamedWaves counts the scatter waves consumed incrementally through
+	// a StreamCaller (a subset of ScatterWaves).
+	StreamedWaves int
 }
 
 // docEntry is one single-flight slot of the document cache: concurrent

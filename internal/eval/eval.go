@@ -1,6 +1,8 @@
 package eval
 
 import (
+	stdcontext "context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -327,6 +329,14 @@ func (c *context) evalScatter(v *xq.ForExpr, x *xq.XRPCExpr, in xdm.Sequence) (x
 		batches[b].Iterations = append(batches[b].Iterations, params)
 		indices[b] = append(indices[b], i)
 	}
+	if sc, ok := c.eng.Remote.(StreamCaller); ok {
+		c.eng.mu.Lock()
+		c.eng.Stats.BulkCalls += len(batches)
+		c.eng.Stats.ScatterWaves++
+		c.eng.Stats.StreamedWaves++
+		c.eng.mu.Unlock()
+		return c.gatherStreamed(sc, x, batches, indices, len(in))
+	}
 	results := make([][]xdm.Sequence, len(batches))
 	errs := make([]error, len(batches))
 	if sc, ok := c.eng.Remote.(ScatterCaller); ok {
@@ -350,10 +360,25 @@ func (c *context) evalScatter(v *xq.ForExpr, x *xq.XRPCExpr, in xdm.Sequence) (x
 			}
 		}
 	}
+	// The error of the batch whose peer appeared first in the loop wins —
+	// unless that error is only the echo of the dispatcher cancelling the
+	// lane because a later batch genuinely failed: then the genuine failure
+	// (the first one in batch order) is the deterministic winner.
+	errB := -1
 	for b, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("eval: scatter to %s: %w", batches[b].Target, err)
+		if err == nil {
+			continue
 		}
+		if errB < 0 {
+			errB = b
+		}
+		if !errors.Is(err, stdcontext.Canceled) {
+			errB = b
+			break
+		}
+	}
+	if errB >= 0 {
+		return nil, fmt.Errorf("eval: scatter to %s: %w", batches[errB].Target, errs[errB])
 	}
 	perIter := make([]xdm.Sequence, len(in))
 	for b := range batches {
@@ -363,6 +388,63 @@ func (c *context) evalScatter(v *xq.ForExpr, x *xq.XRPCExpr, in xdm.Sequence) (x
 		}
 		for k, res := range results[b] {
 			perIter[indices[b][k]] = res
+		}
+	}
+	out := xdm.Sequence{}
+	for _, r := range perIter {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// gatherStreamed consumes a streamed scatter dispatch: one bounded chunk
+// channel per batch, drained in batch order — the same order the dispatcher
+// admits lanes into its pool, so the lane being drained is always running
+// and a lane blocked on its full buffer can never starve it. Chunks are
+// decoded and placed into their loop positions as they arrive, overlapping
+// still-running peers with local processing of finished lanes; beyond the
+// accumulating result itself the originator holds only the in-flight
+// chunks of each lane's bounded buffer.
+//
+// Errors surface deterministically as the first failing batch in batch
+// order — the rule of the gather-whole path — because every earlier lane
+// was drained to completion before the failing one was read.
+func (c *context) gatherStreamed(sc StreamCaller, x *xq.XRPCExpr, batches []ScatterBatch, indices [][]int, total int) (xdm.Sequence, error) {
+	lanes, cancel := sc.CallRemoteScatterStream(x, batches)
+	defer cancel()
+	if len(lanes) != len(batches) {
+		return nil, fmt.Errorf("eval: streamed scatter returned %d lanes for %d batches", len(lanes), len(batches))
+	}
+	perIter := make([]xdm.Sequence, total)
+	for b := range lanes {
+		expect := len(batches[b].Iterations)
+		cur, seen := 0, false
+		for chunk := range lanes[b] {
+			if chunk.Err != nil {
+				return nil, fmt.Errorf("eval: scatter to %s: %w", batches[b].Target, chunk.Err)
+			}
+			switch {
+			case chunk.Iteration == cur:
+				seen = true
+			case chunk.Iteration == cur+1 && seen:
+				cur++
+			case chunk.Iteration > cur:
+				return nil, fmt.Errorf("eval: scatter to %s: stream skipped iteration %d",
+					batches[b].Target, cur)
+			default:
+				return nil, fmt.Errorf("eval: scatter to %s: stream delivered iteration %d after %d",
+					batches[b].Target, chunk.Iteration, cur)
+			}
+			if chunk.Iteration >= expect {
+				return nil, fmt.Errorf("eval: scatter to %s: stream delivered iteration %d of %d",
+					batches[b].Target, chunk.Iteration, expect)
+			}
+			i := indices[b][chunk.Iteration]
+			perIter[i] = append(perIter[i], chunk.Items...)
+		}
+		if !seen || cur != expect-1 {
+			return nil, fmt.Errorf("eval: scatter to %s: stream ended after iteration %d of %d",
+				batches[b].Target, cur, expect)
 		}
 	}
 	out := xdm.Sequence{}

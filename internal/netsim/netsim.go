@@ -63,3 +63,152 @@ func (m Model) WaveTime(lanes []Exchange) time.Duration {
 	}
 	return w
 }
+
+// ------------------------------------------------------------ streaming --
+
+// Chunk is one response frame of a streamed exchange: its wire size, the
+// server compute that had to finish before the frame could leave (the
+// call's evaluation time, carried by the call's first chunk), and the
+// originator-side decode cost.
+type Chunk struct {
+	Bytes   int64
+	ExecNS  int64
+	DeserNS int64
+}
+
+// StreamedExchange is one streamed request/response lane: the request
+// travels whole, the response comes back as ordered chunks.
+type StreamedExchange struct {
+	ReqBytes int64
+	Chunks   []Chunk
+}
+
+// serialize returns the pure bandwidth term for n bytes (no latency).
+func (m Model) serialize(n int64) time.Duration {
+	if m.BandwidthBytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / m.BandwidthBytesPerSec * float64(time.Second))
+}
+
+// StreamTimes models one streamed lane as a three-stage pipeline — server
+// compute, transfer, client decode. Chunk i becomes available once the
+// request has arrived and the compute of chunks 0..i has finished; its
+// bytes follow the previous chunk's on the open connection (the one-way
+// latency delays each chunk's first byte, but chunks in flight overlap);
+// the client decodes chunk i while chunk i+1 is still transferring. first
+// is when the first chunk has been decoded — the originator's first usable
+// result — and last when the final one has.
+func (m Model) StreamTimes(e StreamedExchange) (first, last time.Duration) {
+	reqArrived := m.TransferTime(e.ReqBytes)
+	if len(e.Chunks) == 0 {
+		return reqArrived, reqArrived
+	}
+	var computed, arrived, decoded time.Duration
+	for i, c := range e.Chunks {
+		computed += time.Duration(c.ExecNS)
+		avail := reqArrived + computed + m.Latency
+		if arrived > avail {
+			avail = arrived
+		}
+		arrived = avail + m.serialize(c.Bytes)
+		start := arrived
+		if decoded > start {
+			start = decoded
+		}
+		decoded = start + time.Duration(c.DeserNS)
+		if i == 0 {
+			first = decoded
+		}
+	}
+	return first, decoded
+}
+
+// GatherTimes models the same lane without streaming: the peer computes
+// every chunk, the whole response transfers, and the client decodes it
+// whole — nothing is usable before everything arrived, so first equals
+// last.
+func (m Model) GatherTimes(e StreamedExchange) (first, last time.Duration) {
+	var respBytes, execNS, deserNS int64
+	for _, c := range e.Chunks {
+		respBytes += c.Bytes
+		execNS += c.ExecNS
+		deserNS += c.DeserNS
+	}
+	total := m.TransferTime(e.ReqBytes) + time.Duration(execNS) +
+		m.TransferTime(respBytes) + time.Duration(deserNS)
+	return total, total
+}
+
+// StreamedWaveTime returns the first-result and completion time of a wave
+// of streamed lanes in flight together (independent ports, like WaveTime):
+// the originator's first usable result is the fastest lane's first chunk,
+// completion is the slowest lane's last.
+func (m Model) StreamedWaveTime(lanes []StreamedExchange) (first, last time.Duration) {
+	for i, l := range lanes {
+		f, d := m.StreamTimes(l)
+		if i == 0 || f < first {
+			first = f
+		}
+		if d > last {
+			last = d
+		}
+	}
+	return first, last
+}
+
+// GatherWaveTime is the gather-whole counterpart of StreamedWaveTime: no
+// result is usable before the slowest lane finished, so first equals last.
+func (m Model) GatherWaveTime(lanes []StreamedExchange) (first, last time.Duration) {
+	for _, l := range lanes {
+		if _, d := m.GatherTimes(l); d > last {
+			last = d
+		}
+	}
+	return last, last
+}
+
+// PipelinedTime returns the makespan of dispatching lanes over width
+// concurrent slots without wave barriers: each slot starts its next lane
+// the moment its current one completes, so a finished lane's slot overlaps
+// the next lane's chunks with its siblings' — chunk pipelining across
+// waves. Lanes are assigned greedily in order to the earliest-free slot.
+func (m Model) PipelinedTime(lanes []StreamedExchange, width int) time.Duration {
+	if width < 1 {
+		width = 1
+	}
+	slots := make([]time.Duration, min(width, max(len(lanes), 1)))
+	for _, l := range lanes {
+		best := 0
+		for i := range slots {
+			if slots[i] < slots[best] {
+				best = i
+			}
+		}
+		_, d := m.StreamTimes(l)
+		slots[best] += d
+	}
+	var makespan time.Duration
+	for _, s := range slots {
+		if s > makespan {
+			makespan = s
+		}
+	}
+	return makespan
+}
+
+// WaveBarrierTime is the wave-scheduled counterpart of PipelinedTime:
+// lanes dispatch in consecutive waves of width, each wave waiting for the
+// slowest lane of the previous one — how gather-whole scatter behaves when
+// there are more peers than pool workers.
+func (m Model) WaveBarrierTime(lanes []StreamedExchange, width int) time.Duration {
+	if width < 1 {
+		width = 1
+	}
+	var total time.Duration
+	for start := 0; start < len(lanes); start += width {
+		_, last := m.GatherWaveTime(lanes[start:min(start+width, len(lanes))])
+		total += last
+	}
+	return total
+}

@@ -82,3 +82,102 @@ func TestWaveTimeNeverExceedsSerialSum(t *testing.T) {
 		t.Errorf("overlapped %v exceeds serial %v", w, serial)
 	}
 }
+
+// ------------------------------------------------------------ streaming --
+
+// handModel makes the arithmetic easy: 1 ms latency, 1000 B/s.
+func handModel() Model { return Model{Latency: time.Millisecond, BandwidthBytesPerSec: 1000} }
+
+func TestStreamTimesHandComputed(t *testing.T) {
+	m := handModel()
+	e := StreamedExchange{
+		ReqBytes: 1000, // request arrives at 1s + 1ms
+		Chunks: []Chunk{
+			{Bytes: 500, ExecNS: int64(time.Second), DeserNS: int64(100 * time.Millisecond)},
+			{Bytes: 500, ExecNS: 0, DeserNS: int64(100 * time.Millisecond)},
+		},
+	}
+	req := time.Second + time.Millisecond
+	// chunk 0: available req+1s, +latency, +0.5s transfer, +0.1s decode.
+	first := req + time.Second + time.Millisecond + 500*time.Millisecond + 100*time.Millisecond
+	// chunk 1: follows chunk 0's bytes immediately (compute done), transfers
+	// 0.5s while chunk 0 decodes (0.1s, hidden), then decodes 0.1s.
+	last := req + time.Second + time.Millisecond + time.Second + 100*time.Millisecond
+	gotFirst, gotLast := m.StreamTimes(e)
+	if gotFirst != first || gotLast != last {
+		t.Errorf("StreamTimes = (%v, %v), want (%v, %v)", gotFirst, gotLast, first, last)
+	}
+	// Gather-whole: everything computed, transferred, decoded in sequence.
+	gFirst, gLast := m.GatherTimes(e)
+	want := req + time.Second + (time.Millisecond + time.Second) + 200*time.Millisecond
+	if gFirst != want || gLast != want {
+		t.Errorf("GatherTimes = (%v, %v), want %v", gFirst, gLast, want)
+	}
+	if gotLast >= gLast {
+		t.Errorf("streamed completion %v must beat gather-whole %v", gotLast, gLast)
+	}
+}
+
+func TestStreamTimesNeverExceedGather(t *testing.T) {
+	m := GigabitLAN()
+	f := func(req uint16, b1, b2, b3 uint16, e1, e2, e3 uint16, d1, d2, d3 uint16) bool {
+		e := StreamedExchange{ReqBytes: int64(req), Chunks: []Chunk{
+			{Bytes: int64(b1), ExecNS: int64(e1) * 1000, DeserNS: int64(d1) * 1000},
+			{Bytes: int64(b2), ExecNS: int64(e2) * 1000, DeserNS: int64(d2) * 1000},
+			{Bytes: int64(b3), ExecNS: int64(e3) * 1000, DeserNS: int64(d3) * 1000},
+		}}
+		sFirst, sLast := m.StreamTimes(e)
+		_, gLast := m.GatherTimes(e)
+		return sFirst <= sLast && sLast <= gLast
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamedWaveTime(t *testing.T) {
+	m := handModel()
+	fast := StreamedExchange{ReqBytes: 10, Chunks: []Chunk{{Bytes: 10}}}
+	slow := StreamedExchange{ReqBytes: 10, Chunks: []Chunk{{Bytes: 10, ExecNS: int64(time.Second)}, {Bytes: 2000}}}
+	wf, wl := m.StreamedWaveTime([]StreamedExchange{slow, fast})
+	ff, _ := m.StreamTimes(fast)
+	_, sl := m.StreamTimes(slow)
+	if wf != ff {
+		t.Errorf("wave first = %v, want fastest lane's first chunk %v", wf, ff)
+	}
+	if wl != sl {
+		t.Errorf("wave last = %v, want slowest lane %v", wl, sl)
+	}
+	gf, gl := m.GatherWaveTime([]StreamedExchange{slow, fast})
+	if gf != gl {
+		t.Errorf("gather-whole first %v must equal last %v (nothing usable earlier)", gf, gl)
+	}
+	if wf >= gf {
+		t.Errorf("streamed first %v must precede gather completion %v", wf, gf)
+	}
+}
+
+func TestPipelinedVsWaveBarrier(t *testing.T) {
+	m := handModel()
+	// Four identical lanes over two slots: pipelined = 2 back-to-back lanes
+	// per slot; the barrier schedule is the same here (identical lanes), so
+	// use one slow lane to create the difference.
+	mk := func(exec time.Duration) StreamedExchange {
+		return StreamedExchange{ReqBytes: 10, Chunks: []Chunk{{Bytes: 10, ExecNS: int64(exec)}}}
+	}
+	lanes := []StreamedExchange{mk(time.Second), mk(0), mk(0), mk(0)}
+	pipe := m.PipelinedTime(lanes, 2)
+	barrier := m.WaveBarrierTime(lanes, 2)
+	if pipe >= barrier {
+		t.Errorf("pipelined %v must beat the wave barrier %v with a straggler in wave one", pipe, barrier)
+	}
+	// Width 1 degenerates to the serial sum for both.
+	var serial time.Duration
+	for _, l := range lanes {
+		_, d := m.GatherTimes(l)
+		serial += d
+	}
+	if b := m.WaveBarrierTime(lanes, 1); b != serial {
+		t.Errorf("width-1 barrier = %v, want serial sum %v", b, serial)
+	}
+}

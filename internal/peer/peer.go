@@ -34,13 +34,16 @@ type Peer struct {
 }
 
 // Network is a federation of peers connected by an in-memory transport and
-// a simulated link model.
+// a simulated link model; external peers reached over their own transports
+// (e.g. HTTP daemons) can be routed in beside the in-process ones.
 type Network struct {
 	Transport *xrpc.InMemoryTransport
 	Model     netsim.Model
 
-	mu    sync.RWMutex
-	peers map[string]*Peer
+	mu       sync.RWMutex
+	peers    map[string]*Peer
+	external map[string]bool
+	router   *xrpc.RouteTransport
 }
 
 // NewNetwork creates an empty federation with the paper's 1 Gb/s LAN model.
@@ -49,7 +52,33 @@ func NewNetwork() *Network {
 		Transport: xrpc.NewInMemoryTransport(),
 		Model:     netsim.GigabitLAN(),
 		peers:     map[string]*Peer{},
+		external:  map[string]bool{},
 	}
+}
+
+// RouteExternal maps a peer name to an external transport (for instance an
+// xrpc.HTTPTransport reaching a remote xqpeer daemon): sessions dispatch
+// execute-at calls naming that peer over it, while in-process peers keep
+// using the in-memory transport.
+func (n *Network) RouteExternal(name string, t xrpc.Transport) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.router == nil {
+		n.router = xrpc.NewRouteTransport(n.Transport)
+	}
+	n.router.Route(name, t)
+	n.external[name] = true
+}
+
+// transport returns the transport sessions dispatch over: the in-memory one,
+// overlaid with external routes when any are registered.
+func (n *Network) transport() xrpc.Transport {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.router != nil {
+		return n.router
+	}
+	return n.Transport
 }
 
 // AddPeer creates a peer, registers its XRPC endpoint, and returns it.
@@ -72,13 +101,17 @@ func (n *Network) Peer(name string) (*Peer, bool) {
 	return p, ok
 }
 
-// PeerNames returns the set of registered peer names — the engine peer set
-// the decomposer validates shard maps against.
+// PeerNames returns the set of registered peer names, externally routed
+// peers included — the engine peer set the decomposer validates shard maps
+// against.
 func (n *Network) PeerNames() map[string]bool {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	out := make(map[string]bool, len(n.peers))
+	out := make(map[string]bool, len(n.peers)+len(n.external))
 	for name := range n.peers {
+		out[name] = true
+	}
+	for name := range n.external {
 		out[name] = true
 	}
 	return out
@@ -202,6 +235,16 @@ type Report struct {
 	SerdeNS      int64 // client+server message (de)serialization
 	RemoteExecNS int64 // remote function evaluation (overlapped: per-wave max)
 	NetworkNS    int64 // simulated transfer time (overlapped: per-wave max)
+	// Streaming metrics, from the netsim pipeline model (server compute,
+	// transfer and client decode overlap chunk by chunk). GatherNS is the
+	// same exchanges under the gather-whole model; for a non-streamed query
+	// PipelineNS equals GatherNS, and FirstResultNS is the completion of the
+	// first request wave (nothing is usable earlier).
+	FirstResultNS  int64 // first usable result increment at the originator
+	PipelineNS     int64 // completion of all request waves, streamed model
+	GatherNS       int64 // completion of all request waves, gather-whole model
+	OverlapSavedNS int64 // GatherNS - PipelineNS
+	StreamedChunks int64 // response chunk frames received by streamed lanes
 	// Shards reports the planner's shard-rewrite decisions: which
 	// logical-document expressions became scatter loops and which fell back
 	// to materialized-union evaluation, with the violated condition.
@@ -224,6 +267,11 @@ type Session struct {
 	// variable-target loops, forcing one Bulk RPC at a time — the serial
 	// baseline the scatter-gather benchmarks compare against.
 	SequentialScatter bool
+	// Streamed dispatches variable-target loops through the streaming XRPC
+	// client: per-peer results arrive as chunk frames consumed in loop
+	// order, overlapping slow peers with local processing of finished
+	// lanes, instead of gathering whole responses.
+	Streamed bool
 	// Shards installs shard maps: the planner may rewrite queries over each
 	// logical document into the concurrent scatter form, and the logical URI
 	// also resolves at the originator by materializing the union of shards
@@ -303,17 +351,20 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	metrics := &xrpc.Metrics{}
 	if s.Strategy != core.DataShipping {
 		client := &xrpc.Client{
-			Transport: s.net.Transport,
+			Transport: s.net.transport(),
 			Semantics: semanticsOf(s.Strategy),
 			Static:    engine.Static,
 			Relatives: plan.Relatives,
 			Metrics:   metrics,
 		}
-		if s.SequentialScatter {
+		switch {
+		case s.SequentialScatter:
 			// Hide the ScatterCaller extension so the evaluator dispatches
 			// variable-target batches one peer at a time.
 			engine.Remote = bulkOnlyCaller{client}
-		} else {
+		case s.Streamed:
+			engine.Remote = &xrpc.StreamedClient{Client: client}
+		default:
 			engine.Remote = client
 		}
 	}
@@ -344,14 +395,22 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 		netNS += t
 		serialNS += t
 	}
-	for _, wave := range m.Waves {
+	waveStreamed := make([]bool, len(m.Waves))
+	waveLanes := make([][]netsim.StreamedExchange, len(m.Waves))
+	for wi, wave := range m.Waves {
 		if len(wave) > rep.Parallelism {
 			rep.Parallelism = len(wave)
 		}
 		lanes := make([]netsim.Exchange, len(wave))
+		slanes := make([]netsim.StreamedExchange, len(wave))
 		var waveExecNS int64
 		for i, lane := range wave {
 			lanes[i] = netsim.Exchange{ReqBytes: lane.BytesSent, RespBytes: lane.BytesReceived}
+			slanes[i] = streamedExchange(lane)
+			rep.StreamedChunks += int64(len(lane.Chunks))
+			if len(lane.Chunks) > 0 {
+				waveStreamed[wi] = true
+			}
 			laneNetNS := s.net.Model.RoundTrip(lane.BytesSent, lane.BytesReceived).Nanoseconds()
 			serialNS += laneNetNS
 			if lane.RemoteExecNS > waveExecNS {
@@ -361,12 +420,52 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 				rep.MaxPeerNS = peerNS
 			}
 		}
+		waveLanes[wi] = slanes
 		netNS += s.net.Model.WaveTime(lanes).Nanoseconds()
 		remoteNS += waveExecNS
+	}
+	// Streamed-pipeline accounting: compute/transfer/decode overlap chunk by
+	// chunk, against the gather-whole model of the same lanes. A run of
+	// consecutive streamed waves pipelines across its wave boundaries too
+	// (the dispatcher admits the next lane as soon as a slot frees, no
+	// barrier) — clamped by the barrier schedule, which any scheduler can
+	// fall back to. Gather-only waves contribute their wave completion to
+	// both models, so PipelineNS equals GatherNS for non-streamed queries.
+	for wi := 0; wi < len(waveLanes); {
+		if !waveStreamed[wi] {
+			gFirst, gLast := s.net.Model.GatherWaveTime(waveLanes[wi])
+			if wi == 0 {
+				// Nothing is usable before the gather wave completed.
+				rep.FirstResultNS = gFirst.Nanoseconds()
+			}
+			rep.PipelineNS += gLast.Nanoseconds()
+			rep.GatherNS += gLast.Nanoseconds()
+			wi++
+			continue
+		}
+		width := len(waveLanes[wi])
+		var run []netsim.StreamedExchange
+		first := wi
+		for wi < len(waveLanes) && waveStreamed[wi] {
+			run = append(run, waveLanes[wi]...)
+			wi++
+		}
+		if first == 0 {
+			sFirst, _ := s.net.Model.StreamedWaveTime(waveLanes[0])
+			rep.FirstResultNS = sFirst.Nanoseconds()
+		}
+		pipe := s.net.Model.PipelinedTime(run, width)
+		barrier := s.net.Model.WaveBarrierTime(run, width)
+		if pipe > barrier {
+			pipe = barrier
+		}
+		rep.PipelineNS += pipe.Nanoseconds()
+		rep.GatherNS += barrier.Nanoseconds()
 	}
 	rep.NetworkNS = netNS
 	rep.SerialNetworkNS = serialNS
 	rep.RemoteExecNS = remoteNS
+	rep.OverlapSavedNS = rep.GatherNS - rep.PipelineNS
 	// Local execution is what remains of wall time after the accounted
 	// phases (message serde and remote exec happen within the wall).
 	local := wallNS - rep.ShredNS - rep.SerdeNS - rep.RemoteExecNS
@@ -375,6 +474,29 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	}
 	rep.LocalExecNS = local
 	return res, rep, nil
+}
+
+// streamedExchange converts a metrics lane into the netsim streamed-lane
+// description: streamed lanes carry their per-chunk stats (plus a trailing
+// pseudo-chunk for the terminal frame's bytes), gather-whole lanes collapse
+// to a single chunk covering the entire response.
+func streamedExchange(lane xrpc.Lane) netsim.StreamedExchange {
+	se := netsim.StreamedExchange{ReqBytes: lane.BytesSent}
+	if len(lane.Chunks) == 0 {
+		se.Chunks = []netsim.Chunk{{
+			Bytes: lane.BytesReceived, ExecNS: lane.RemoteExecNS, DeserNS: lane.DeserNS,
+		}}
+		return se
+	}
+	rest := lane.BytesReceived
+	for _, c := range lane.Chunks {
+		se.Chunks = append(se.Chunks, netsim.Chunk{Bytes: c.Bytes, ExecNS: c.ExecNS, DeserNS: c.DeserNS})
+		rest -= c.Bytes
+	}
+	if rest > 0 {
+		se.Chunks = append(se.Chunks, netsim.Chunk{Bytes: rest})
+	}
+	return se
 }
 
 // bulkOnlyCaller forwards the plain RemoteCaller methods of a Client while

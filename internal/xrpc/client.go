@@ -1,6 +1,7 @@
 package xrpc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,12 @@ type Lane struct {
 	BytesSent     int64
 	BytesReceived int64
 	RemoteExecNS  int64
+	// DeserNS is the client-side time spent shredding this lane's response
+	// (the per-lane share of Metrics.DeserializeNS).
+	DeserNS int64
+	// Chunks, when non-empty, records the streamed arrival of the response
+	// frame by frame; gather-whole exchanges leave it nil.
+	Chunks []ChunkStat
 }
 
 // Metrics accumulates per-exchange measurements used by the benchmark
@@ -127,6 +134,18 @@ type Client struct {
 	// MaxConcurrent bounds the number of in-flight per-peer Bulk RPCs of one
 	// scatter wave; zero means DefaultMaxConcurrent.
 	MaxConcurrent int
+	// Context, when non-nil, is the base context of every dispatch:
+	// cancelling it aborts in-flight exchanges (through a ContextTransport
+	// or StreamTransport) and releases queued pool workers.
+	Context context.Context
+}
+
+// baseContext returns the dispatch base context.
+func (c *Client) baseContext() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 var _ eval.RemoteCaller = (*Client)(nil)
@@ -155,6 +174,16 @@ func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xd
 // dispatched concurrently through a bounded worker pool. Results and errors
 // are positional per batch; the successful exchanges are recorded as one
 // metrics wave so the cost model charges their transfers as overlapped.
+//
+// The first lane to fail cancels the dispatch context: exchanges in flight
+// over a cancellation-aware Transport (ContextTransport — e.g. HTTP) are
+// torn down instead of dragging out a query that is going to fail anyway,
+// and external cancellation (Client.Context) additionally stops queued
+// lanes before they dispatch. Transports without cancellation support (the
+// synchronous in-memory one) run every lane to completion, preserving
+// deterministic per-lane outcomes and metrics. Lanes killed by
+// cancellation report context.Canceled — the evaluator reports the genuine
+// failure, never the echo.
 func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) ([][]xdm.Sequence, []error) {
 	results := make([][]xdm.Sequence, len(batches))
 	errs := make([]error, len(batches))
@@ -163,6 +192,9 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 	if width <= 0 {
 		width = DefaultMaxConcurrent
 	}
+	base := c.baseContext()
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
 	sem := make(chan struct{}, width)
 	var wg sync.WaitGroup
 	for i := range batches {
@@ -171,7 +203,14 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], lanes[i], errs[i] = c.callBulk(batches[i].Target, x, batches[i].Iterations)
+			if err := base.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], lanes[i], errs[i] = c.callBulkCtx(ctx, batches[i].Target, x, batches[i].Iterations)
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -198,8 +237,13 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 // callBulk performs one Bulk RPC exchange and accumulates its totals into
 // Metrics; the returned Lane lets the caller group exchanges into waves.
 func (c *Client) callBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, Lane, error) {
+	return c.callBulkCtx(c.baseContext(), target, x, iterations)
+}
+
+// marshalCall builds and serializes the request message of one Bulk RPC.
+func (c *Client) marshalCall(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) (data []byte, serNS int64, err error) {
 	if containsRemote(x.Body) {
-		return nil, Lane{}, fmt.Errorf("xrpc: shipped function body contains a nested execute-at; " +
+		return nil, 0, fmt.Errorf("xrpc: shipped function body contains a nested execute-at; " +
 			"the decomposer never generates these (fcn0 stays local)")
 	}
 	name := x.FuncName
@@ -232,13 +276,31 @@ func (c *Client) callBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequ
 		}
 	}
 	t0 := time.Now()
-	data, err := MarshalRequest(req, paramU, paramR, c.ProjOpts)
+	data, err = MarshalRequest(req, paramU, paramR, c.ProjOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, time.Since(t0).Nanoseconds(), nil
+}
+
+// roundTrip performs a gather-whole exchange, honoring ctx through a
+// ContextTransport when the transport provides one. A plain Transport
+// ignores cancellation: its exchanges cannot block on a network, so
+// letting them finish keeps per-lane outcomes deterministic.
+func roundTrip(ctx context.Context, t Transport, peer string, request []byte) ([]byte, error) {
+	if ct, ok := t.(ContextTransport); ok {
+		return ct.RoundTripContext(ctx, peer, request)
+	}
+	return t.RoundTrip(peer, request)
+}
+
+func (c *Client) callBulkCtx(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, Lane, error) {
+	data, serNS, err := c.marshalCall(target, x, iterations)
 	if err != nil {
 		return nil, Lane{}, err
 	}
-	serNS := time.Since(t0).Nanoseconds()
 	t1 := time.Now()
-	respData, err := c.Transport.RoundTrip(target, data)
+	respData, err := roundTrip(ctx, c.Transport, target, data)
 	wallNS := time.Since(t1).Nanoseconds()
 	if err != nil {
 		return nil, Lane{}, err
@@ -258,6 +320,7 @@ func (c *Client) callBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequ
 		BytesSent:     int64(len(data)),
 		BytesReceived: int64(len(respData)),
 		RemoteExecNS:  resp.ExecNanos,
+		DeserNS:       deserNS,
 	}
 	if c.Metrics != nil {
 		c.Metrics.Add(&Metrics{

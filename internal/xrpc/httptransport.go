@@ -1,0 +1,305 @@
+package xrpc
+
+// This file implements XRPC over HTTP POST — the wire protocol of the
+// paper (SOAP request messages sent as synchronous POST requests) — plus
+// the streaming variant, which delivers the response as length-prefixed
+// chunk frames over a chunked HTTP response body so the originator decodes
+// results while the peer is still producing them, and RouteTransport,
+// which lets one federation mix in-memory and HTTP peers.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// HTTPTransport performs XRPC over HTTP POST. It implements Transport,
+// ContextTransport and StreamTransport.
+type HTTPTransport struct {
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// URLFor maps a peer name to the gather-whole endpoint URL. The default
+	// prepends http:// and appends /xrpc.
+	URLFor func(peer string) string
+	// StreamURLFor maps a peer name to the streaming endpoint URL. The
+	// default appends /stream to URLFor's answer.
+	StreamURLFor func(peer string) string
+}
+
+var _ Transport = (*HTTPTransport)(nil)
+var _ ContextTransport = (*HTTPTransport)(nil)
+var _ StreamTransport = (*HTTPTransport)(nil)
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTransport) urlFor(peer string) string {
+	if t.URLFor != nil {
+		return t.URLFor(peer)
+	}
+	return "http://" + peer + "/xrpc"
+}
+
+func (t *HTTPTransport) streamURLFor(peer string) string {
+	if t.StreamURLFor != nil {
+		return t.StreamURLFor(peer)
+	}
+	return t.urlFor(peer) + "/stream"
+}
+
+// RoundTrip implements Transport.
+func (t *HTTPTransport) RoundTrip(peer string, request []byte) ([]byte, error) {
+	return t.RoundTripContext(context.Background(), peer, request)
+}
+
+// RoundTripContext implements ContextTransport: cancelling ctx tears down
+// the in-flight HTTP exchange.
+func (t *HTTPTransport) RoundTripContext(ctx context.Context, peer string, request []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.urlFor(peer), bytes.NewReader(request))
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: POST to %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/soap+xml")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: POST to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: reading response from %s: %w", peer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("xrpc: peer %s returned HTTP %d: %s", peer, resp.StatusCode, truncate(body))
+	}
+	return body, nil
+}
+
+// RoundTripStream implements StreamTransport: the peer's streaming endpoint
+// answers with a chunked body carrying length-prefixed frames, each decoded
+// and delivered to sink as it arrives. Backpressure is the TCP window: a
+// sink that blocks stops the read loop, which stops the peer's writes. A
+// peer without the streaming endpoint (404/405) degrades to one gather-
+// whole exchange delivered as a single frame.
+func (t *HTTPTransport) RoundTripStream(ctx context.Context, peer string, request []byte, sink func(frame []byte) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.streamURLFor(peer), bytes.NewReader(request))
+	if err != nil {
+		return fmt.Errorf("xrpc: POST to %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/soap+xml")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("xrpc: POST to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		io.Copy(io.Discard, resp.Body)
+		whole, err := t.RoundTripContext(ctx, peer, request)
+		if err != nil {
+			return err
+		}
+		return sink(whole)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("xrpc: peer %s returned HTTP %d: %s", peer, resp.StatusCode, truncate(body))
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		frame, err := readFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("xrpc: reading stream from %s: %w", peer, err)
+		}
+		if err := sink(frame); err != nil {
+			return err
+		}
+	}
+}
+
+// Frame encoding on a byte stream: ASCII decimal length, '\n', frame bytes.
+// (HTTP chunked transfer encoding does not expose chunk boundaries to
+// net/http readers, so frames carry their own.)
+
+func writeFrame(w io.Writer, frame []byte) error {
+	if _, err := fmt.Fprintf(w, "%d\n", len(frame)); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	header, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && header == "" {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("frame header: %w", err)
+	}
+	n, err := strconv.Atoi(header[:len(header)-1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("bad frame length %q", header[:len(header)-1])
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return nil, fmt.Errorf("frame body: %w", err)
+	}
+	return frame, nil
+}
+
+// NewHTTPHandler adapts a Handler into an http.Handler serving POST /xrpc.
+func NewHTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "xrpc requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := h.Handle(body)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/soap+xml")
+			w.WriteHeader(http.StatusOK) // faults travel as SOAP messages
+			_, _ = w.Write(MarshalFault(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/soap+xml")
+		_, _ = w.Write(resp)
+	})
+}
+
+// NewStreamHTTPHandler adapts a handler into the streaming endpoint
+// (POST /xrpc/stream): response frames leave as they are produced, each
+// flushed so the originator sees chunks without buffering delays. A handler
+// without streaming support answers with its whole response as one frame;
+// errors — upfront or mid-stream — travel as a fault frame.
+func NewStreamHTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "xrpc requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xrpc-stream")
+		flusher, _ := w.(http.Flusher)
+		wroteOK := true
+		emit := func(frame []byte) error {
+			if err := writeFrame(w, frame); err != nil {
+				wroteOK = false
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		}
+		sh, streams := h.(StreamHandler)
+		if !streams {
+			resp, err := h.Handle(body)
+			if err != nil {
+				resp = MarshalFault(err)
+			}
+			_ = emit(resp)
+			return
+		}
+		if err := sh.HandleStream(body, emit); err != nil && wroteOK {
+			_ = emit(MarshalFault(err))
+		}
+	})
+}
+
+// RouteTransport routes each peer name to its own transport, falling back
+// to a default for unrouted peers — how an in-process federation reaches
+// external HTTP peers. Extension interfaces (ContextTransport,
+// StreamTransport) are forwarded per route, degrading gracefully when the
+// routed transport lacks them.
+type RouteTransport struct {
+	// Fallback serves peers without a route; nil means unrouted peers fail.
+	Fallback Transport
+
+	mu     sync.RWMutex
+	routes map[string]Transport
+}
+
+var _ Transport = (*RouteTransport)(nil)
+var _ ContextTransport = (*RouteTransport)(nil)
+var _ StreamTransport = (*RouteTransport)(nil)
+
+// NewRouteTransport returns a router over the given fallback.
+func NewRouteTransport(fallback Transport) *RouteTransport {
+	return &RouteTransport{Fallback: fallback, routes: map[string]Transport{}}
+}
+
+// Route installs (or replaces) the transport serving one peer name.
+func (t *RouteTransport) Route(peer string, transport Transport) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.routes[peer] = transport
+}
+
+func (t *RouteTransport) transportFor(peer string) (Transport, error) {
+	t.mu.RLock()
+	tr, ok := t.routes[peer]
+	t.mu.RUnlock()
+	if ok {
+		return tr, nil
+	}
+	if t.Fallback != nil {
+		return t.Fallback, nil
+	}
+	return nil, fmt.Errorf("xrpc: no route to peer %q", peer)
+}
+
+// RoundTrip implements Transport.
+func (t *RouteTransport) RoundTrip(peer string, request []byte) ([]byte, error) {
+	tr, err := t.transportFor(peer)
+	if err != nil {
+		return nil, err
+	}
+	return tr.RoundTrip(peer, request)
+}
+
+// RoundTripContext implements ContextTransport.
+func (t *RouteTransport) RoundTripContext(ctx context.Context, peer string, request []byte) ([]byte, error) {
+	tr, err := t.transportFor(peer)
+	if err != nil {
+		return nil, err
+	}
+	return roundTrip(ctx, tr, peer, request)
+}
+
+// RoundTripStream implements StreamTransport; a routed transport without
+// streaming degrades to one gather-whole exchange delivered as one frame.
+func (t *RouteTransport) RoundTripStream(ctx context.Context, peer string, request []byte, sink func(frame []byte) error) error {
+	tr, err := t.transportFor(peer)
+	if err != nil {
+		return err
+	}
+	if st, ok := tr.(StreamTransport); ok {
+		return st.RoundTripStream(ctx, peer, request, sink)
+	}
+	whole, err := roundTrip(ctx, tr, peer, request)
+	if err != nil {
+		return err
+	}
+	return sink(whole)
+}

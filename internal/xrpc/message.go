@@ -95,6 +95,7 @@ const (
 	elBody       = "env:Body"
 	elRequest    = "xrpc:request"
 	elResponse   = "xrpc:response"
+	elChunk      = "xrpc:chunk"
 	elModule     = "xrpc:module"
 	elProjPaths  = "xrpc:projection-paths"
 	elUsedPath   = "xrpc:used-path"

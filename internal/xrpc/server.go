@@ -1,7 +1,6 @@
 package xrpc
 
 import (
-	"bytes"
 	"fmt"
 	"time"
 
@@ -13,7 +12,7 @@ import (
 
 // Server executes shipped XQuery functions against a peer-local engine and
 // serializes responses under the request's passing semantics. It implements
-// Handler.
+// Handler (gather-whole responses) and StreamHandler (chunked streams).
 type Server struct {
 	// Engine evaluates shipped functions; its Resolver serves the peer's
 	// local documents. Required.
@@ -22,39 +21,65 @@ type Server struct {
 	ProjOpts projection.Options
 	// Metrics, when non-nil, accumulates server-side measurements.
 	Metrics *Metrics
+	// ChunkItems bounds the result items per frame of streamed responses;
+	// zero means DefaultChunkItems.
+	ChunkItems int
 }
 
 var _ Handler = (*Server)(nil)
+var _ StreamHandler = (*Server)(nil)
+
+// prepare shreds the request message and compiles the shipped module — the
+// common front half of Handle and HandleStream.
+func (s *Server) prepare(request []byte) (req *Request, q *xq.Query, static *eval.StaticContext, shredNS int64, err error) {
+	if s.Engine == nil {
+		return nil, nil, nil, 0, fmt.Errorf("xrpc: server has no engine")
+	}
+	t0 := time.Now()
+	req, err = ParseRequest(request)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	shredNS = time.Since(t0).Nanoseconds()
+	q, err = xq.ParseQuery(req.Module + "\n0")
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("xrpc: shipped module does not parse: %w", err)
+	}
+	// Propagate the caller's static context (Problem 5 class 1): the remote
+	// side declares identical values for these context attributes.
+	if req.Static != (eval.StaticContext{}) {
+		static = &req.Static
+	}
+	return req, q, static, shredNS, nil
+}
+
+// responsePaths returns the projection paths the response serialization
+// must apply for this request's semantics.
+func responsePaths(req *Request) (used, returned projection.PathSet) {
+	if req.Semantics != ByProjection {
+		return nil, nil
+	}
+	used, returned = req.ResultUsed, req.ResultReturned
+	if len(returned) == 0 && len(used) == 0 {
+		// No projection paths at all: conservatively return the result
+		// values whole.
+		returned = projection.PathSet{}.Add(projection.Path{})
+	}
+	return used, returned
+}
 
 // Handle processes one request message: shred, compile the shipped module,
 // evaluate every bulk call, and serialize the response.
 func (s *Server) Handle(request []byte) ([]byte, error) {
-	t0 := time.Now()
-	req, err := ParseRequest(request)
+	req, q, static, shredNS, err := s.prepare(request)
 	if err != nil {
 		return nil, err
-	}
-	shredNS := time.Since(t0).Nanoseconds()
-
-	q, err := xq.ParseQuery(req.Module + "\n0")
-	if err != nil {
-		return nil, fmt.Errorf("xrpc: shipped module does not parse: %w", err)
-	}
-	// Propagate the caller's static context (Problem 5 class 1): the remote
-	// side declares identical values for these context attributes.
-	engine := s.Engine
-	if engine == nil {
-		return nil, fmt.Errorf("xrpc: server has no engine")
-	}
-	var static *eval.StaticContext
-	if req.Static != (eval.StaticContext{}) {
-		static = &req.Static
 	}
 
 	t1 := time.Now()
 	resp := &Response{Semantics: req.Semantics}
 	for _, params := range req.Calls {
-		res, err := engine.EvalFunctionStatic(q, req.Method, params, static)
+		res, err := s.Engine.EvalFunctionStatic(q, req.Method, params, static)
 		if err != nil {
 			return nil, fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
 		}
@@ -63,16 +88,7 @@ func (s *Server) Handle(request []byte) ([]byte, error) {
 	resp.ExecNanos = time.Since(t1).Nanoseconds()
 
 	t2 := time.Now()
-	var resultU, resultR projection.PathSet
-	if req.Semantics == ByProjection {
-		resultU = req.ResultUsed
-		resultR = req.ResultReturned
-		if len(resultR) == 0 && len(resultU) == 0 {
-			// No projection paths at all: conservatively return the result
-			// values whole.
-			resultR = projection.PathSet{}.Add(projection.Path{})
-		}
-	}
+	resultU, resultR := responsePaths(req)
 	resp.SerializeNanos = shredNS
 	data, err := MarshalResponse(resp, resultU, resultR, s.ProjOpts)
 	if err != nil {
@@ -85,9 +101,7 @@ func (s *Server) Handle(request []byte) ([]byte, error) {
 	// which precedes any payload bytes, so the first occurrence of the
 	// placeholder is always the attribute itself.
 	resp.SerializeNanos = shredNS + marshalNS
-	data = bytes.Replace(data,
-		[]byte(fmt.Sprintf(`serde-ns="%d"`, shredNS)),
-		[]byte(fmt.Sprintf(`serde-ns="%d"`, resp.SerializeNanos)), 1)
+	data = patchSerdeNS(data, shredNS, resp.SerializeNanos)
 	if s.Metrics != nil {
 		s.Metrics.Add(&Metrics{
 			Requests:      1,

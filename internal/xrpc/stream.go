@@ -1,0 +1,583 @@
+package xrpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"distxq/internal/eval"
+	"distxq/internal/projection"
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// This file implements streaming XRPC: instead of one gather-whole response
+// message, a peer's Bulk-RPC results travel as an ordered sequence of
+// self-contained chunk frames. Each frame is a complete SOAP envelope
+// (decodable on its own with xdm.ParseBytes) carrying a run of consecutive
+// result items of one call, its own fragments preamble, a sequence number,
+// and per-chunk timing; a terminal frame closes the stream. The originator
+// starts processing the first chunk while the peer is still evaluating and
+// serializing the rest — first-result latency drops from "slowest peer's
+// whole response" to "first chunk of the fastest lane".
+
+// DefaultChunkItems is the per-chunk item budget of a streaming server when
+// Server.ChunkItems is zero. The value trades pipelining granularity
+// against framing overhead: each frame repeats the envelope and pays its
+// own parse, so chunks must be big enough that decoding streams behind the
+// transfer instead of dominating it, and small enough that a lane still
+// spans several frames.
+const DefaultChunkItems = 32
+
+// DefaultBufferChunks bounds each lane's decoded-chunk buffer on the
+// originator when StreamedClient.BufferChunks is zero. The bound is the
+// backpressure mechanism: once a lane's buffer is full the producer blocks
+// (in-memory) or stops reading the connection (HTTP), so originator peak
+// buffering is limited by chunks in flight, not by total result size.
+const DefaultBufferChunks = 4
+
+// StreamTransport is an optional Transport extension: the response arrives
+// as an ordered sequence of frames delivered to sink as they become
+// available instead of one buffered message. A sink error aborts the
+// exchange and is returned; ctx cancels the in-flight exchange.
+type StreamTransport interface {
+	RoundTripStream(ctx context.Context, peer string, request []byte, sink func(frame []byte) error) error
+}
+
+// StreamHandler is an optional Handler extension — the server side of a
+// StreamTransport. Implementations emit response chunk frames in order; an
+// error returned after partial emission is delivered to the caller by the
+// transport (as a fault frame), exactly like a Handler error.
+type StreamHandler interface {
+	HandleStream(request []byte, emit func(frame []byte) error) error
+}
+
+// ResponseChunk is the logical content of one stream frame.
+type ResponseChunk struct {
+	// Seq numbers frames consecutively from 0 within one stream.
+	Seq int
+	// Last marks the terminal frame: no results, only the total call count
+	// (for completeness validation) and the server's request-shred time.
+	Last  bool
+	Calls int
+	// Call / FirstItem locate the run: the 0-based call index and the offset
+	// of Items[0] within that call's full result sequence.
+	Call      int
+	FirstItem int
+	Items     xdm.Sequence
+	Semantics Semantics
+	// ExecNanos reports the call's evaluation time on the first chunk of
+	// each call (zero on continuation chunks).
+	ExecNanos int64
+	// SerializeNanos reports this chunk's marshal time (terminal frame: the
+	// request shred time, so client-side serde totals match gather-whole).
+	SerializeNanos int64
+}
+
+// MarshalResponseChunk serializes one chunk frame. Pass-by-projection
+// result paths apply per chunk, exactly as MarshalResponse applies them to
+// whole results.
+func MarshalResponseChunk(ch *ResponseChunk, resultUsed, resultReturned projection.PathSet, opts projection.Options) ([]byte, error) {
+	var sb strings.Builder
+	sb.WriteString(envelopeOpen)
+	fmt.Fprintf(&sb, "<%s>", elBody)
+	if ch.Last {
+		fmt.Fprintf(&sb, `<%s seq="%d" last="true" calls="%d" serde-ns="%d"/>`,
+			elChunk, ch.Seq, ch.Calls, ch.SerializeNanos)
+	} else {
+		st := &encodeState{
+			sem:           ch.Semantics,
+			paramUsed:     []projection.PathSet{resultUsed},
+			paramReturned: []projection.PathSet{resultReturned},
+			projOpts:      opts,
+		}
+		if err := st.buildFragments([]xdm.Sequence{ch.Items}, nil); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, `<%s seq="%d" call="%d" first-item="%d" semantics="%s" exec-ns="%d" serde-ns="%d">`,
+			elChunk, ch.Seq, ch.Call, ch.FirstItem, ch.Semantics, ch.ExecNanos, ch.SerializeNanos)
+		st.writeFragments(&sb)
+		if err := st.writeSequence(&sb, ch.Items); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, "</%s>", elChunk)
+	}
+	fmt.Fprintf(&sb, "</%s></env:Envelope>", elBody)
+	return []byte(sb.String()), nil
+}
+
+// ParseResponseChunk shreds one stream frame. A fault frame surfaces as a
+// *Fault error, like ParseResponse.
+func ParseResponseChunk(data []byte) (*ResponseChunk, error) {
+	doc, err := xdm.ParseBytes(data, "xrpc:chunk")
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: malformed chunk frame: %w", err)
+	}
+	el, err := messagePayload(doc, elChunk)
+	if err != nil {
+		return nil, err
+	}
+	ch := &ResponseChunk{}
+	ch.Seq, err = strconv.Atoi(attrOr(el, "seq", ""))
+	if err != nil {
+		return nil, fmt.Errorf("xrpc: chunk frame without seq")
+	}
+	ch.SerializeNanos, _ = strconv.ParseInt(attrOr(el, "serde-ns", "0"), 10, 64)
+	if attrOr(el, "last", "") == "true" {
+		ch.Last = true
+		ch.Calls, err = strconv.Atoi(attrOr(el, "calls", ""))
+		if err != nil {
+			return nil, fmt.Errorf("xrpc: terminal frame without calls count")
+		}
+		return ch, nil
+	}
+	ch.Semantics, err = ParseSemantics(attrOr(el, "semantics", "by-value"))
+	if err != nil {
+		return nil, err
+	}
+	if ch.Call, err = strconv.Atoi(attrOr(el, "call", "")); err != nil {
+		return nil, fmt.Errorf("xrpc: chunk frame without call index")
+	}
+	if ch.FirstItem, err = strconv.Atoi(attrOr(el, "first-item", "")); err != nil {
+		return nil, fmt.Errorf("xrpc: chunk frame without first-item")
+	}
+	ch.ExecNanos, _ = strconv.ParseInt(attrOr(el, "exec-ns", "0"), 10, 64)
+	st, err := decodeFragments(findChild(el, elFragments))
+	if err != nil {
+		return nil, err
+	}
+	seqEl := findChild(el, elSequence)
+	if seqEl == nil {
+		return nil, fmt.Errorf("xrpc: chunk frame without sequence")
+	}
+	ch.Items, err = st.decodeSequence(seqEl)
+	if err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// patchSerdeNS rewrites the serde-ns attribute in a marshalled message: the
+// value is written in the payload open tag, which precedes any payload
+// bytes, so the first occurrence of the placeholder is always the attribute.
+func patchSerdeNS(data []byte, old, new int64) []byte {
+	return bytes.Replace(data,
+		[]byte(fmt.Sprintf(`serde-ns="%d"`, old)),
+		[]byte(fmt.Sprintf(`serde-ns="%d"`, new)), 1)
+}
+
+// chunkWriter emits the ordered chunk frames of one streamed response.
+type chunkWriter struct {
+	sem            Semantics
+	used, returned projection.PathSet
+	opts           projection.Options
+	itemsPer       int
+	emit           func([]byte) error
+
+	seq     int
+	calls   int
+	serdeNS int64
+}
+
+// writeCall splits one call's result into item runs of at most itemsPer and
+// emits each as a frame; an empty result still emits one (empty) frame so
+// the client can distinguish "empty result" from "missing call". The call's
+// evaluation time is attributed to its first chunk.
+func (w *chunkWriter) writeCall(call int, items xdm.Sequence, execNS int64) error {
+	per := w.itemsPer
+	if per <= 0 {
+		per = DefaultChunkItems
+	}
+	first := 0
+	for {
+		run := items[first:min(first+per, len(items))]
+		t0 := time.Now()
+		data, err := MarshalResponseChunk(&ResponseChunk{
+			Seq: w.seq, Call: call, FirstItem: first,
+			Items: run, Semantics: w.sem, ExecNanos: execNS,
+		}, w.used, w.returned, w.opts)
+		if err != nil {
+			return err
+		}
+		ser := time.Since(t0).Nanoseconds()
+		w.serdeNS += ser
+		data = patchSerdeNS(data, 0, ser)
+		w.seq++
+		execNS = 0
+		if err := w.emit(data); err != nil {
+			return err
+		}
+		first += len(run)
+		if first >= len(items) {
+			break
+		}
+	}
+	w.calls = call + 1
+	return nil
+}
+
+// close emits the terminal frame; shredNS is the server's request-shred
+// time, delivered here so the client's serde accounting matches Handle's.
+func (w *chunkWriter) close(shredNS int64) error {
+	data, err := MarshalResponseChunk(&ResponseChunk{
+		Seq: w.seq, Last: true, Calls: w.calls, SerializeNanos: shredNS,
+	}, nil, nil, w.opts)
+	if err != nil {
+		return err
+	}
+	w.seq++
+	return w.emit(data)
+}
+
+// MarshalResponseStream splits an already-evaluated response into chunk
+// frames (at most itemsPerChunk result items each) delivered to emit in
+// order, terminal frame included. It is the gather-to-stream adaptor: the
+// framing tests and non-incremental servers use it; Server.HandleStream
+// instead emits each call's frames as soon as that call has evaluated.
+func MarshalResponseStream(resp *Response, itemsPerChunk int, resultUsed, resultReturned projection.PathSet, opts projection.Options, emit func([]byte) error) error {
+	w := &chunkWriter{
+		sem: resp.Semantics, used: resultUsed, returned: resultReturned,
+		opts: opts, itemsPer: itemsPerChunk, emit: emit,
+	}
+	for ci, res := range resp.Results {
+		exec := int64(0)
+		if ci == 0 {
+			exec = resp.ExecNanos
+		}
+		if err := w.writeCall(ci, res, exec); err != nil {
+			return err
+		}
+	}
+	return w.close(resp.SerializeNanos)
+}
+
+// HandleStream implements StreamHandler: like Handle, but each call's
+// results leave the peer as chunk frames as soon as the call has evaluated,
+// instead of after the whole bulk has. Evaluation errors are returned after
+// the frames that precede them; the transport delivers them as fault frames.
+func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
+	req, q, static, shredNS, err := s.prepare(request)
+	if err != nil {
+		return err
+	}
+	resultU, resultR := responsePaths(req)
+	var bytesSent int64
+	w := &chunkWriter{
+		sem: req.Semantics, used: resultU, returned: resultR,
+		opts: s.ProjOpts, itemsPer: s.ChunkItems,
+		emit: func(frame []byte) error {
+			bytesSent += int64(len(frame))
+			return emit(frame)
+		},
+	}
+	var execTotal int64
+	for ci, params := range req.Calls {
+		t0 := time.Now()
+		res, err := s.Engine.EvalFunctionStatic(q, req.Method, params, static)
+		if err != nil {
+			return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+		}
+		exec := time.Since(t0).Nanoseconds()
+		execTotal += exec
+		if err := w.writeCall(ci, res, exec); err != nil {
+			return err
+		}
+	}
+	if err := w.close(shredNS); err != nil {
+		return err
+	}
+	if s.Metrics != nil {
+		s.Metrics.Add(&Metrics{
+			Requests:      1,
+			BytesReceived: int64(len(request)),
+			BytesSent:     bytesSent,
+			RemoteExecNS:  execTotal,
+			ServerSerdeNS: shredNS + w.serdeNS,
+		})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------- client side --
+
+// ChunkStat records one received chunk of a streamed lane, in arrival
+// order: its frame size, the server-side evaluation time that preceded it,
+// and the client-side decode time — the inputs of the netsim streamed-
+// transfer model.
+type ChunkStat struct {
+	Bytes   int64
+	ExecNS  int64
+	DeserNS int64
+}
+
+// StreamedClient dispatches scatter waves in streaming mode: it implements
+// eval.StreamCaller on top of the embedded Client, yielding per-lane result
+// chunks as frames arrive instead of gathering whole responses. Lanes
+// travel over StreamTransport when the Transport provides it and fall back
+// to gather-whole exchanges (delivered as a single increment per iteration)
+// when it does not.
+type StreamedClient struct {
+	*Client
+	// BufferChunks bounds each lane's decoded-chunk buffer; zero means
+	// DefaultBufferChunks.
+	BufferChunks int
+}
+
+var _ eval.RemoteCaller = (*StreamedClient)(nil)
+var _ eval.ScatterCaller = (*StreamedClient)(nil)
+var _ eval.StreamCaller = (*StreamedClient)(nil)
+
+// CallRemoteScatterStream implements eval.StreamCaller. The pool admits
+// lanes strictly in batch order — lane i starts once lane i-width has
+// finished — so the consumer, which drains lanes in batch order too, is
+// always waiting on an admitted lane: a lane blocked on its full chunk
+// buffer can never starve the one being consumed (racy slot acquisition
+// deadlocked exactly that way when batches outnumbered the pool).
+// Successful lanes are recorded as metrics waves no wider than the pool
+// once all lanes finish. The returned cancel function aborts every
+// in-flight lane (producers blocked on a full buffer included) — the
+// consumer must call it.
+func (c *StreamedClient) CallRemoteScatterStream(x *xq.XRPCExpr, batches []eval.ScatterBatch) ([]<-chan eval.StreamChunk, func()) {
+	buf := c.BufferChunks
+	if buf <= 0 {
+		buf = DefaultBufferChunks
+	}
+	width := c.MaxConcurrent
+	if width <= 0 {
+		width = DefaultMaxConcurrent
+	}
+	ctx, cancel := context.WithCancel(c.baseContext())
+	chans := make([]chan eval.StreamChunk, len(batches))
+	out := make([]<-chan eval.StreamChunk, len(batches))
+	done := make([]chan struct{}, len(batches))
+	for i := range chans {
+		chans[i] = make(chan eval.StreamChunk, buf)
+		out[i] = chans[i]
+		done[i] = make(chan struct{})
+	}
+	lanes := make([]Lane, len(batches))
+	failed := make([]bool, len(batches))
+	var remaining atomic.Int64
+	remaining.Store(int64(len(batches)))
+	for i := range batches {
+		go func(i int) {
+			// Defers run in reverse order: the last lane to finish records
+			// the metrics waves, then closes its channel — so by the time
+			// the consumer has drained every lane, the waves are visible.
+			defer close(chans[i])
+			defer func() {
+				if remaining.Add(-1) != 0 {
+					return
+				}
+				var ok []Lane
+				for j := range lanes {
+					if !failed[j] {
+						ok = append(ok, lanes[j])
+					}
+				}
+				for len(ok) > 0 {
+					n := min(width, len(ok))
+					c.Metrics.AddWave(ok[:n])
+					ok = ok[n:]
+				}
+			}()
+			defer close(done[i])
+			if i >= width {
+				select {
+				case <-done[i-width]:
+				case <-ctx.Done():
+					failed[i] = true
+					sendChunk(ctx, chans[i], eval.StreamChunk{Err: ctx.Err()})
+					return
+				}
+			}
+			lane, err := c.streamLane(ctx, batches[i].Target, x, batches[i].Iterations, chans[i])
+			lanes[i] = lane
+			if err != nil {
+				failed[i] = true
+				sendChunk(ctx, chans[i], eval.StreamChunk{Err: err})
+			}
+		}(i)
+	}
+	return out, cancel
+}
+
+// sendChunk delivers a chunk unless the dispatch was cancelled (then the
+// consumer is gone and the chunk is dropped instead of blocking forever).
+func sendChunk(ctx context.Context, ch chan<- eval.StreamChunk, chunk eval.StreamChunk) bool {
+	select {
+	case ch <- chunk:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// laneState validates the frame protocol of one lane and converts frames
+// into eval.StreamChunks.
+type laneState struct {
+	expect  int // iterations of the batch
+	nextSeq int
+	curCall int
+	curItem int   // items delivered of curCall
+	seen    bool  // curCall has appeared in at least one frame
+	done    bool  // terminal frame (or gather-whole response) received
+	chunks  []ChunkStat
+	execNS  int64
+	serdeNS int64
+	deserNS int64
+	recvd   int64
+}
+
+func (st *laneState) accept(ch *ResponseChunk) error {
+	if st.done {
+		return fmt.Errorf("xrpc: frame %d after terminal frame", ch.Seq)
+	}
+	if ch.Seq != st.nextSeq {
+		return fmt.Errorf("xrpc: stream frame %d out of order (want %d)", ch.Seq, st.nextSeq)
+	}
+	st.nextSeq++
+	if ch.Last {
+		if ch.Calls != st.expect {
+			return fmt.Errorf("xrpc: stream carries %d calls for %d iterations", ch.Calls, st.expect)
+		}
+		if st.expect > 0 && (st.curCall != st.expect-1 || !st.seen) {
+			return fmt.Errorf("xrpc: stream ended after call %d of %d", st.curCall, st.expect)
+		}
+		st.done = true
+		return nil
+	}
+	switch {
+	case ch.Call == st.curCall+1 && st.seen:
+		st.curCall++
+		st.curItem = 0
+	case ch.Call == st.curCall:
+	default:
+		return fmt.Errorf("xrpc: stream chunk for call %d item %d arrived at call %d item %d",
+			ch.Call, ch.FirstItem, st.curCall, st.curItem)
+	}
+	if ch.Call >= st.expect {
+		return fmt.Errorf("xrpc: stream carries call %d for %d iterations", ch.Call, st.expect)
+	}
+	if ch.FirstItem != st.curItem {
+		return fmt.Errorf("xrpc: stream chunk of call %d starts at item %d, want %d",
+			ch.Call, ch.FirstItem, st.curItem)
+	}
+	st.seen = true
+	st.curItem += len(ch.Items)
+	return nil
+}
+
+// streamLane performs one streamed Bulk RPC exchange, delivering result
+// increments to ch as frames arrive and accumulating metrics totals exactly
+// like callBulk does for gather-whole exchanges.
+func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, ch chan<- eval.StreamChunk) (Lane, error) {
+	stx, streams := c.Transport.(StreamTransport)
+	if !streams {
+		return c.gatherLane(ctx, target, x, iterations, ch)
+	}
+	data, serNS, err := c.marshalCall(target, x, iterations)
+	if err != nil {
+		return Lane{}, err
+	}
+	st := &laneState{expect: len(iterations)}
+	sink := func(frame []byte) error {
+		t0 := time.Now()
+		chunk, perr := ParseResponseChunk(frame)
+		if perr != nil {
+			// A peer that does not stream answers with one gather-whole
+			// response message; fall back to delivering it in one increment
+			// per iteration. Only legal as the very first frame — a whole
+			// response after chunk frames would silently duplicate results.
+			if resp, rerr := ParseResponse(frame); rerr == nil {
+				if st.nextSeq != 0 || st.done {
+					return fmt.Errorf("xrpc: gather-whole response after %d stream frames", st.nextSeq)
+				}
+				deser := time.Since(t0).Nanoseconds()
+				if len(resp.Results) != len(iterations) {
+					return fmt.Errorf("xrpc: response carries %d results for %d calls",
+						len(resp.Results), len(iterations))
+				}
+				st.recvd += int64(len(frame))
+				st.deserNS += deser
+				st.execNS += resp.ExecNanos
+				st.serdeNS += resp.SerializeNanos
+				st.done = true
+				for i, res := range resp.Results {
+					if !sendChunk(ctx, ch, eval.StreamChunk{Iteration: i, Items: res}) {
+						return ctx.Err()
+					}
+				}
+				return nil
+			}
+			return perr
+		}
+		deser := time.Since(t0).Nanoseconds()
+		if err := st.accept(chunk); err != nil {
+			return err
+		}
+		st.recvd += int64(len(frame))
+		st.deserNS += deser
+		st.execNS += chunk.ExecNanos
+		st.serdeNS += chunk.SerializeNanos
+		if chunk.Last {
+			return nil
+		}
+		st.chunks = append(st.chunks, ChunkStat{
+			Bytes: int64(len(frame)), ExecNS: chunk.ExecNanos, DeserNS: deser,
+		})
+		if !sendChunk(ctx, ch, eval.StreamChunk{Iteration: chunk.Call, Items: chunk.Items}) {
+			return ctx.Err()
+		}
+		return nil
+	}
+	t1 := time.Now()
+	err = stx.RoundTripStream(ctx, target, data, sink)
+	wallNS := time.Since(t1).Nanoseconds()
+	if err != nil {
+		return Lane{}, err
+	}
+	if !st.done {
+		return Lane{}, fmt.Errorf("xrpc: stream from %s ended without terminal frame", target)
+	}
+	lane := Lane{
+		Peer:          target,
+		BytesSent:     int64(len(data)),
+		BytesReceived: st.recvd,
+		RemoteExecNS:  st.execNS,
+		DeserNS:       st.deserNS,
+		Chunks:        st.chunks,
+	}
+	if c.Metrics != nil {
+		c.Metrics.Add(&Metrics{
+			Requests:      1,
+			BytesSent:     int64(len(data)),
+			BytesReceived: st.recvd,
+			SerializeNS:   serNS,
+			DeserializeNS: st.deserNS,
+			RemoteExecNS:  st.execNS,
+			ServerSerdeNS: st.serdeNS,
+			RoundTripWall: wallNS,
+		})
+	}
+	return lane, nil
+}
+
+// gatherLane is the degraded streamLane over a Transport without streaming:
+// one gather-whole exchange, delivered as one increment per iteration.
+func (c *StreamedClient) gatherLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, ch chan<- eval.StreamChunk) (Lane, error) {
+	results, lane, err := c.callBulkCtx(ctx, target, x, iterations)
+	if err != nil {
+		return Lane{}, err
+	}
+	for i, res := range results {
+		if !sendChunk(ctx, ch, eval.StreamChunk{Iteration: i, Items: res}) {
+			return lane, ctx.Err()
+		}
+	}
+	return lane, nil
+}

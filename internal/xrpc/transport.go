@@ -1,10 +1,8 @@
 package xrpc
 
 import (
-	"bytes"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"sync"
 )
 
@@ -12,6 +10,13 @@ import (
 // response. Implementations must be safe for concurrent use.
 type Transport interface {
 	RoundTrip(peer string, request []byte) (response []byte, err error)
+}
+
+// ContextTransport is an optional Transport extension that honors
+// cancellation: an aborted dispatch tears down the in-flight exchange
+// instead of waiting it out.
+type ContextTransport interface {
+	RoundTripContext(ctx context.Context, peer string, request []byte) ([]byte, error)
 }
 
 // Handler processes one raw XRPC request (the server side of a Transport).
@@ -39,17 +44,25 @@ func (t *InMemoryTransport) Register(peer string, h Handler) {
 	t.handlers[peer] = h
 }
 
+func (t *InMemoryTransport) handler(peer string) (Handler, error) {
+	t.mu.RLock()
+	h, ok := t.handlers[peer]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("xrpc: unknown peer %q", peer)
+	}
+	return h, nil
+}
+
 // RoundTrip implements Transport. Handler failures travel back as SOAP
 // fault messages — exactly what an HTTP peer produces — so callers observe
 // the same *Fault through every transport (ParseResponse surfaces it). Only
 // an unknown peer is a transport-level error, the in-memory equivalent of a
 // connection failure.
 func (t *InMemoryTransport) RoundTrip(peer string, request []byte) ([]byte, error) {
-	t.mu.RLock()
-	h, ok := t.handlers[peer]
-	t.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("xrpc: unknown peer %q", peer)
+	h, err := t.handler(peer)
+	if err != nil {
+		return nil, err
 	}
 	resp, err := h.Handle(request)
 	if err != nil {
@@ -58,39 +71,50 @@ func (t *InMemoryTransport) RoundTrip(peer string, request []byte) ([]byte, erro
 	return resp, nil
 }
 
-// HTTPTransport performs XRPC over HTTP POST, the wire protocol of the
-// paper (SOAP request messages sent as synchronous HTTP POST requests).
-type HTTPTransport struct {
-	// Client defaults to http.DefaultClient.
-	Client *http.Client
-	// URLFor maps a peer name to an endpoint URL. The default prepends
-	// http:// and appends /xrpc.
-	URLFor func(peer string) string
-}
-
-// RoundTrip implements Transport.
-func (t *HTTPTransport) RoundTrip(peer string, request []byte) ([]byte, error) {
-	client := t.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	urlFor := t.URLFor
-	if urlFor == nil {
-		urlFor = func(p string) string { return "http://" + p + "/xrpc" }
-	}
-	resp, err := client.Post(urlFor(peer), "application/soap+xml", bytes.NewReader(request))
+// RoundTripStream implements StreamTransport. A handler that streams
+// (StreamHandler) has its frames passed straight through to sink, with a
+// cancellation check between frames so an abandoned consumer stops a long
+// in-process stream; a gather-only handler's whole response is delivered as
+// a single frame, which the streaming client detects and degrades to one
+// increment per call. Handler errors travel to sink as a fault frame, for
+// parity with RoundTrip.
+func (t *InMemoryTransport) RoundTripStream(ctx context.Context, peer string, request []byte, sink func(frame []byte) error) error {
+	h, err := t.handler(peer)
 	if err != nil {
-		return nil, fmt.Errorf("xrpc: POST to %s: %w", peer, err)
+		return err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh, streams := h.(StreamHandler)
+	if !streams {
+		resp, err := h.Handle(request)
+		if err != nil {
+			resp = MarshalFault(err)
+		}
+		return sink(resp)
+	}
+	sinkFailed := false
+	err = sh.HandleStream(request, func(frame []byte) error {
+		if cerr := ctx.Err(); cerr != nil {
+			sinkFailed = true
+			return cerr
+		}
+		if serr := sink(frame); serr != nil {
+			sinkFailed = true
+			return serr
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("xrpc: reading response from %s: %w", peer, err)
+		if sinkFailed {
+			return err
+		}
+		// The peer failed mid-stream: the error travels as a terminal fault
+		// frame, like a Handler error travels as a fault message.
+		return sink(MarshalFault(err))
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("xrpc: peer %s returned HTTP %d: %s", peer, resp.StatusCode, truncate(body))
-	}
-	return body, nil
+	return nil
 }
 
 func truncate(b []byte) string {
@@ -98,28 +122,4 @@ func truncate(b []byte) string {
 		return string(b[:200]) + "..."
 	}
 	return string(b)
-}
-
-// NewHTTPHandler adapts a Handler into an http.Handler serving POST /xrpc.
-func NewHTTPHandler(h Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "xrpc requires POST", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, err := h.Handle(body)
-		if err != nil {
-			w.Header().Set("Content-Type", "application/soap+xml")
-			w.WriteHeader(http.StatusOK) // faults travel as SOAP messages
-			_, _ = w.Write(MarshalFault(err))
-			return
-		}
-		w.Header().Set("Content-Type", "application/soap+xml")
-		_, _ = w.Write(resp)
-	})
 }
