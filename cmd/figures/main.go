@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, hedge")
 	size := flag.Int64("size", 1<<21, "largest combined document size in bytes")
 	steps := flag.Int("steps", 5, "number of sizes in the sweep (halving per step)")
 	maxPeers := flag.Int("peers", 8, "largest peer count of the scatter sweep (doubling from 1)")
@@ -106,6 +106,19 @@ func main() {
 			return err
 		}
 		bench.PrintFigShard(os.Stdout, *size, rows)
+		return nil
+	})
+	run("hedge", func() error {
+		cfg := bench.DefaultHedgeConfig()
+		cfg.Lanes = *maxPeers
+		rows := bench.FigHedge(cfg, bench.DefaultHedgeAfters)
+		bench.PrintFigHedge(os.Stdout, cfg, rows)
+		fmt.Println()
+		fo, err := bench.FigFailover(*size, *maxPeers)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigFailover(os.Stdout, *size, fo)
 		return nil
 	})
 }

@@ -111,6 +111,64 @@ func TestFigStreamLive(t *testing.T) {
 	}
 }
 
+// TestFigHedgeGolden locks in the hedged-scatter report. Unlike the timing
+// figures, FigHedge is a deterministic netsim-model computation (seeded
+// draws, simulated time only), so the golden covers the real numbers, not
+// just the layout.
+func TestFigHedgeGolden(t *testing.T) {
+	cfg := bench.DefaultHedgeConfig()
+	rows := bench.FigHedge(cfg, bench.DefaultHedgeAfters)
+	var buf bytes.Buffer
+	bench.PrintFigHedge(&buf, cfg, rows)
+	checkGolden(t, "fig_hedge.golden", buf.Bytes())
+}
+
+// TestFigFailoverGolden locks in the live failover report; every printed
+// field (retries, winner, result equality) is deterministic even though the
+// run is real.
+func TestFigFailoverGolden(t *testing.T) {
+	row, err := bench.FigFailover(1<<19, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bench.PrintFigFailover(&buf, 1<<19, row)
+	checkGolden(t, "fig_failover.golden", buf.Bytes())
+}
+
+// TestFigHedgeLive asserts the acceptance property of the tail-tolerance
+// figure: on the straggler scenario, hedged P99 is strictly below the
+// no-hedge baseline at every swept deadline, hedges actually fire, and the
+// live failover run answers byte-identically through the replica.
+func TestFigHedgeLive(t *testing.T) {
+	rows := bench.FigHedge(bench.DefaultHedgeConfig(), bench.DefaultHedgeAfters)
+	if len(rows) == 0 {
+		t.Fatal("no hedge rows")
+	}
+	for _, r := range rows {
+		if r.HedgedP99NS >= r.BaseP99NS {
+			t.Errorf("hedge-after %dns: hedged P99 %dns not strictly below baseline %dns",
+				r.HedgeAfterNS, r.HedgedP99NS, r.BaseP99NS)
+		}
+		if r.Hedges == 0 {
+			t.Errorf("hedge-after %dns: no hedges fired — the scenario exercises nothing", r.HedgeAfterNS)
+		}
+		if r.Hedges > 0 && r.WastedNS == 0 {
+			t.Errorf("hedge-after %dns: hedges fired but no wasted time accounted", r.HedgeAfterNS)
+		}
+	}
+	row, err := bench.FigFailover(1<<18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.ResultsEqual {
+		t.Fatalf("failover run diverged from the healthy run: %+v", row)
+	}
+	if row.Retries < 1 || row.Winner == "" {
+		t.Fatalf("failover run did not record the replica win: %+v", row)
+	}
+}
+
 // TestFigShardLive drives the real experiment at a small size: beyond the
 // formatting, the planner must actually match the hand-written plan.
 func TestFigShardLive(t *testing.T) {

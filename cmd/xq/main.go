@@ -11,6 +11,11 @@
 // plus the transfer report. Remote xqpeer daemons join the federation via
 // -peer name=http://host:port — execute-at calls naming them travel over
 // HTTP (streamed when -stream is set and the daemon serves /xrpc/stream).
+//
+// Scatter dispatch becomes fault-tolerant with -replica (ordered failover
+// copies per peer), -retry-attempts and -hedge-after: a failed lane
+// re-issues to the next replica and a straggling one is hedged, the report
+// naming any lane a replica answered.
 package main
 
 import (
@@ -43,6 +48,13 @@ func main() {
 		"name=baseURL of a remote xqpeer daemon reached over HTTP (repeatable)")
 	streamed := flag.Bool("stream", false,
 		"dispatch scatter loops over streaming XRPC (chunked result streams)")
+	var replicaSpecs docFlags
+	flag.Var(&replicaSpecs, "replica",
+		"peer=replica1,replica2,... — ordered failover replicas of a scatter target (repeatable)")
+	retries := flag.Int("retry-attempts", 0,
+		"max attempts per scatter lane, rotating primary→replicas (0 = one per available copy)")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"hedge a scatter lane to its next replica if unanswered after this duration (0 = off)")
 	flag.Parse()
 
 	var src string
@@ -113,6 +125,19 @@ func main() {
 		}
 		sess.UseShards(m)
 	}
+	for _, spec := range replicaSpecs {
+		primary, rest, ok := strings.Cut(spec, "=")
+		if !ok || rest == "" {
+			fail(fmt.Errorf("want peer=replica1,replica2,..., got %q", spec))
+		}
+		if sess.Replicas == nil {
+			sess.Replicas = map[string][]string{}
+		}
+		sess.Replicas[primary] = strings.Split(rest, ",")
+	}
+	if *retries > 0 || *hedgeAfter > 0 || len(sess.Replicas) > 0 {
+		sess.Retry = &xrpc.RetryPolicy{MaxAttempts: *retries, HedgeAfter: *hedgeAfter}
+	}
 	res, rep, err := sess.Query(src)
 	if err != nil {
 		fail(err)
@@ -125,6 +150,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-- shard rewrite: %s scattered\n", d.Logical)
 		} else {
 			fmt.Fprintf(os.Stderr, "-- shard rewrite: %s fell back: %s\n", d.Logical, d.Reason)
+		}
+	}
+	if rep.Retries > 0 || rep.Hedges > 0 {
+		fmt.Fprintf(os.Stderr, "-- fault tolerance: %d retries, %d hedges\n", rep.Retries, rep.Hedges)
+		for target, winner := range rep.WinnerReplica {
+			fmt.Fprintf(os.Stderr, "-- lane %s answered by replica %s\n", target, winner)
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"distxq/internal/xdm"
 	"distxq/internal/xmark"
 	"distxq/internal/xq"
+	"distxq/internal/xrpc"
 )
 
 // Strategy selects how queries over remote documents execute.
@@ -73,6 +74,12 @@ type ShardDecision = core.ShardDecision
 // ErrUnknownShardPeer is returned when a shard map names a peer absent from
 // the federation.
 var ErrUnknownShardPeer = core.ErrUnknownShardPeer
+
+// RetryPolicy configures per-lane fault tolerance of scatter dispatch:
+// failed lanes re-issue to replicas (ShardMap.Replicas or
+// Session.Replicas), straggling ones are hedged after HedgeAfter. Install
+// it with Session.UseRetry.
+type RetryPolicy = xrpc.RetryPolicy
 
 // Sequence is an XQuery result sequence.
 type Sequence = xdm.Sequence

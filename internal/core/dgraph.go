@@ -5,6 +5,17 @@
 // by-fragment (§V) and by-projection (§VI) condition sets. Decompose rewrites
 // a query over xrpc:// documents into an equivalent query whose remote-
 // executable subgraphs became XRPCExprs.
+//
+// The layer's contract: Decompose(q, strategy, opts) returns a Plan whose
+// Query evaluates — through any eval.RemoteCaller honoring the XRPC
+// semantics — to exactly the sequence the undecomposed query produces
+// locally; every rewrite here is proven result-preserving, and anything
+// unprovable is left local. The same guarantee covers the shard-aware pass
+// (shard.go): a ShardMap registers one logical document partitioned across
+// peers — optionally with per-shard replica sets for fault tolerance — and
+// queries over it either become concurrent scatter loops or fall back to
+// evaluation over the materialized shard union, never a third thing.
+// core depends only on the xq AST and xdm data model; it never dispatches.
 package core
 
 import (

@@ -29,6 +29,27 @@ type ShardMap struct {
 	// RecordPath is the rooted child-axis path to the record sequence, e.g.
 	// "child::site/child::people/child::person".
 	RecordPath string
+	// Replicas lists, per shard (parallel to Peers), the ordered failover
+	// replicas of that shard: peers holding a byte-identical copy of the
+	// shard document under the same ShardPath. A fault-tolerant dispatcher
+	// re-routes a failed or hedged scatter lane to them in order, and the
+	// materialized-union fallback fetches a shard from its first reachable
+	// replica when the primary is down. Nil, or shorter than Peers, means
+	// the remaining shards are unreplicated.
+	Replicas [][]string
+}
+
+// ReplicaSets returns the peer → ordered-failover-replicas map of the shard
+// layout, the form the evaluator's scatter dispatch consumes
+// (eval.Engine.Replicas).
+func (m ShardMap) ReplicaSets() map[string][]string {
+	out := map[string][]string{}
+	for i, p := range m.Peers {
+		if i < len(m.Replicas) && len(m.Replicas[i]) > 0 {
+			out[p] = append([]string(nil), m.Replicas[i]...)
+		}
+	}
+	return out
 }
 
 // ErrUnknownShardPeer reports a shard map naming a peer the engine does not
@@ -93,10 +114,21 @@ func validateShards(opts Options) error {
 		if _, err := m.recordSteps(); err != nil {
 			return err
 		}
+		if len(m.Replicas) > len(m.Peers) {
+			return fmt.Errorf("core: shard map %s: %d replica sets for %d shards",
+				m.Logical, len(m.Replicas), len(m.Peers))
+		}
 		if opts.KnownPeers != nil {
 			for _, p := range m.Peers {
 				if !opts.KnownPeers[p] {
 					return fmt.Errorf("%w: %s (logical %s)", ErrUnknownShardPeer, p, m.Logical)
+				}
+			}
+			for _, rs := range m.Replicas {
+				for _, p := range rs {
+					if !opts.KnownPeers[p] {
+						return fmt.Errorf("%w: replica %s (logical %s)", ErrUnknownShardPeer, p, m.Logical)
+					}
 				}
 			}
 		}
@@ -108,7 +140,10 @@ func validateShards(opts Options) error {
 // first shard's tree with every later shard's records appended, in shard
 // order, to the record parent. This is the fallback execution path — when a
 // query cannot be rewritten into the scatter form, fn:doc(Logical) resolves
-// to this union and evaluates with plain local semantics.
+// to this union and evaluates with plain local semantics. A shard whose
+// primary cannot be fetched falls over to its replicas in order; only a
+// shard with no reachable copy fails the materialization, reporting the
+// primary's fault.
 func (m ShardMap) Materialize(uri string, fetch func(peer string) (*xdm.Document, error)) (*xdm.Document, error) {
 	steps, err := m.recordSteps()
 	if err != nil {
@@ -117,6 +152,14 @@ func (m ShardMap) Materialize(uri string, fetch func(peer string) (*xdm.Document
 	docs := make([]*xdm.Document, len(m.Peers))
 	for i, p := range m.Peers {
 		d, err := fetch(p)
+		if err != nil && i < len(m.Replicas) {
+			for _, r := range m.Replicas[i] {
+				if rd, rerr := fetch(r); rerr == nil {
+					d, err = rd, nil
+					break
+				}
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: materialize %s: shard %d at %s: %w", m.Logical, i, p, err)
 		}

@@ -3,6 +3,19 @@
 // document resolver abstraction (which is where data-shipping vs. function-
 // shipping strategies plug in), and the RemoteCaller hook through which
 // XRPCExpr nodes perform remote procedure calls.
+//
+// The layer's contract: Engine evaluates a normalized query exactly per the
+// xq semantics, resolving fn:doc through its Resolver (with single-flighted
+// caching, so equal URIs observe equal node identities) and delegating
+// every execute-at to its RemoteCaller. The caller hierarchy is optional
+// capability detection: a plain RemoteCaller dispatches sequentially, a
+// ScatterCaller dispatches a variable-target loop as one concurrent wave of
+// per-peer Bulk RPCs (with Engine.Replicas naming failover copies per
+// target), and a StreamCaller additionally yields per-lane results
+// incrementally; whichever is plugged in, gathered results are identical
+// and arrive in loop order. Evaluation is deterministic — the property the
+// fault-tolerance layer relies on when it gathers a replica's answer in
+// place of a dead primary's.
 package eval
 
 import (
@@ -44,6 +57,11 @@ type RemoteCaller interface {
 type ScatterBatch struct {
 	Target     string
 	Iterations [][]xdm.Sequence
+	// Replicas lists, in failover order, peers holding data equivalent to
+	// Target's — a fault-tolerant dispatcher may re-issue (or hedge) the
+	// batch to them and gather the first response instead of failing the
+	// query. The evaluator fills it from Engine.Replicas.
+	Replicas []string
 }
 
 // ScatterCaller is an optional RemoteCaller extension: an implementation
@@ -108,6 +126,13 @@ type Engine struct {
 	Resolver Resolver
 	Remote   RemoteCaller
 	Static   StaticContext
+	// Replicas maps a scatter target peer to its ordered failover replicas:
+	// peers holding an equivalent copy of the target's data (same documents
+	// under the same paths), so a fault-tolerant RemoteCaller can re-route a
+	// failed or slow scatter lane without changing the query result.
+	// Sessions derive it from replica-aware shard maps; set it before
+	// queries dispatch.
+	Replicas map[string][]string
 
 	mu       sync.Mutex
 	docCache map[string]*docEntry

@@ -323,7 +323,7 @@ func (c *context) evalScatter(v *xq.ForExpr, x *xq.XRPCExpr, in xdm.Sequence) (x
 		if !seen {
 			b = len(batches)
 			batchOf[target] = b
-			batches = append(batches, ScatterBatch{Target: target})
+			batches = append(batches, ScatterBatch{Target: target, Replicas: c.eng.Replicas[target]})
 			indices = append(indices, nil)
 		}
 		batches[b].Iterations = append(batches[b].Iterations, params)

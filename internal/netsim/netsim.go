@@ -4,9 +4,23 @@
 // configurable latency + bandwidth model instead of wall-clock socket time.
 // The model makes the Figure 8/9 "network" component reproducible on any
 // machine.
+//
+// The layer's contract: every function is a pure pricing of measured or
+// injected inputs (bytes, compute nanoseconds, delays) under a latency +
+// bandwidth link — same inputs, same answer, on any machine. The model
+// grows with the dispatch layer it prices: single exchanges (RoundTrip),
+// concurrent scatter waves charged the per-wave maximum (WaveTime),
+// streamed lanes as compute/transfer/decode pipelines (StreamTimes,
+// PipelinedTime), and hedged lanes racing a replica after a deadline
+// (HedgedLaneTime, with Percentile for tail statistics). netsim imports
+// nothing from the rest of the system.
 package netsim
 
-import "time"
+import (
+	"math"
+	"sort"
+	"time"
+)
 
 // Model is a latency + bandwidth link model.
 type Model struct {
@@ -211,4 +225,62 @@ func (m Model) WaveBarrierTime(lanes []StreamedExchange, width int) time.Duratio
 		total += last
 	}
 	return total
+}
+
+// -------------------------------------------------------------- hedging --
+//
+// A scatter wave completes when its slowest lane does, so one straggling
+// peer sets the whole query's latency: at N lanes, the wave samples the
+// per-lane tail N times per query. Hedging bounds that tail — if a lane has
+// not answered within a deadline, the identical exchange is issued to a
+// replica and the earlier response wins. The model below prices one hedged
+// lane deterministically; callers sweep it over an injected delay
+// distribution (bench.FigHedge) to reproduce the P99 effect.
+
+// LaneTime is the completion time of one unhedged request/response lane
+// whose server spends delay between receiving the request and answering —
+// evaluation time, queueing, or an injected straggle.
+func (m Model) LaneTime(e Exchange, delay time.Duration) time.Duration {
+	return m.RoundTrip(e.ReqBytes, e.RespBytes) + delay
+}
+
+// HedgedLaneTime prices the same lane dispatched under a hedging policy: if
+// the primary (server delay primaryDelay) has not answered by hedgeAfter,
+// the exchange is duplicated to a replica (server delay replicaDelay) and
+// the earlier response wins, the loser being cancelled at that moment.
+// done is the lane's completion; hedged reports whether the hedge fired;
+// wasted is the time the losing attempt spent in flight before its
+// cancellation — zero when the primary answered within the deadline and no
+// hedge was launched.
+func (m Model) HedgedLaneTime(e Exchange, primaryDelay, replicaDelay, hedgeAfter time.Duration) (done time.Duration, hedged bool, wasted time.Duration) {
+	primary := m.LaneTime(e, primaryDelay)
+	if hedgeAfter < 0 || primary <= hedgeAfter {
+		return primary, false, 0
+	}
+	hedge := hedgeAfter + m.LaneTime(e, replicaDelay)
+	if hedge < primary {
+		// The replica won; the primary burned the whole window from dispatch
+		// to the winner's finish.
+		return hedge, true, hedge
+	}
+	// The primary won after all; the hedge ran from its launch to the finish.
+	return primary, true, primary - hedgeAfter
+}
+
+// Percentile returns the pth percentile (nearest-rank, p in [0, 100]) of
+// the given durations. The input is not modified.
+func Percentile(times []time.Duration, p float64) time.Duration {
+	if len(times) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

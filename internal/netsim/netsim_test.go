@@ -181,3 +181,68 @@ func TestPipelinedVsWaveBarrier(t *testing.T) {
 		t.Errorf("width-1 barrier = %v, want serial sum %v", b, serial)
 	}
 }
+
+// TestHedgedLaneTimeHand checks the hedging model against hand-computed
+// cases: 1 ms latency, 1000 B/s, so a 100 B request + 200 B response round
+// trip costs 1ms+0.1s + 1ms+0.2s = 302 ms.
+func TestHedgedLaneTimeHand(t *testing.T) {
+	m := handModel()
+	e := Exchange{ReqBytes: 100, RespBytes: 200}
+	rt := 302 * time.Millisecond
+	if got := m.LaneTime(e, 10*time.Millisecond); got != rt+10*time.Millisecond {
+		t.Fatalf("LaneTime = %v, want %v", got, rt+10*time.Millisecond)
+	}
+
+	// Primary answers before the deadline: no hedge, no waste.
+	done, hedged, wasted := m.HedgedLaneTime(e, 0, 0, 400*time.Millisecond)
+	if done != rt || hedged || wasted != 0 {
+		t.Errorf("fast primary: done=%v hedged=%v wasted=%v, want %v/false/0", done, hedged, wasted, rt)
+	}
+
+	// Straggling primary (rt + 10s), healthy replica, hedge at 400 ms: the
+	// replica wins at 400ms + rt, and the primary burned the whole window.
+	done, hedged, wasted = m.HedgedLaneTime(e, 10*time.Second, 0, 400*time.Millisecond)
+	want := 400*time.Millisecond + rt
+	if done != want || !hedged || wasted != want {
+		t.Errorf("straggler: done=%v hedged=%v wasted=%v, want %v/true/%v", done, hedged, wasted, want, want)
+	}
+
+	// Both slow, primary still wins: the hedge ran from its launch to the
+	// primary's finish.
+	done, hedged, wasted = m.HedgedLaneTime(e, 200*time.Millisecond, 10*time.Second, 400*time.Millisecond)
+	if done != rt+200*time.Millisecond || !hedged || wasted != done-400*time.Millisecond {
+		t.Errorf("primary wins race: done=%v hedged=%v wasted=%v", done, hedged, wasted)
+	}
+
+	// Hedging must never make a lane slower than the unhedged dispatch.
+	for _, pd := range []time.Duration{0, 100 * time.Millisecond, time.Second} {
+		for _, rd := range []time.Duration{0, 500 * time.Millisecond, 2 * time.Second} {
+			for _, after := range []time.Duration{0, 300 * time.Millisecond, 600 * time.Millisecond} {
+				d, _, _ := m.HedgedLaneTime(e, pd, rd, after)
+				if base := m.LaneTime(e, pd); d > base {
+					t.Errorf("hedged %v slower than unhedged %v (pd=%v rd=%v after=%v)", d, base, pd, rd, after)
+				}
+			}
+		}
+	}
+}
+
+// TestPercentile checks the nearest-rank definition and input preservation.
+func TestPercentile(t *testing.T) {
+	times := []time.Duration{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{{0, 1}, {20, 1}, {50, 3}, {99, 5}, {100, 5}}
+	for _, c := range cases {
+		if got := Percentile(times, c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if times[0] != 5 || times[4] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 99); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

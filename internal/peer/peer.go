@@ -4,10 +4,22 @@
 // the paper's four strategies (data-shipping, pass-by-value,
 // pass-by-fragment, pass-by-projection), collecting the bandwidth and time
 // metrics the evaluation section reports.
+//
+// The layer's contract: a Session is the one-stop query API — it plans
+// (core.Decompose), wires the dispatch stack (xrpc client over the
+// federation's transports, streamed or gather-whole, with the session's
+// RetryPolicy and replica sets), executes, and returns the result plus a
+// Report pricing the run under the netsim cost model: bytes moved, phase
+// times, overlap-aware network time, streaming pipeline times, shard
+// decisions, and fault-tolerance provenance (retries, hedges, wasted time,
+// replica winners). Networks mix in-process peers with external HTTP
+// daemons (RouteExternal); KillPeer/RevivePeer inject the failures the
+// fault-tolerant dispatch is built to survive.
 package peer
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,6 +54,7 @@ type Network struct {
 
 	mu       sync.RWMutex
 	peers    map[string]*Peer
+	dead     map[string]*Peer
 	external map[string]bool
 	router   *xrpc.RouteTransport
 }
@@ -52,8 +65,41 @@ func NewNetwork() *Network {
 		Transport: xrpc.NewInMemoryTransport(),
 		Model:     netsim.GigabitLAN(),
 		peers:     map[string]*Peer{},
+		dead:      map[string]*Peer{},
 		external:  map[string]bool{},
 	}
+}
+
+// KillPeer takes a peer down: its XRPC endpoint deregisters from the
+// in-memory transport (exchanges naming it fail like a dead host refusing
+// connections) and its documents become unreachable for data shipping and
+// shard materialization. The peer object survives so RevivePeer can bring
+// it back; it still counts as a configured federation member for shard-map
+// validation. External (HTTP) peers are not managed here — kill those by
+// stopping their daemon.
+func (n *Network) KillPeer(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.peers[name]
+	if !ok {
+		return
+	}
+	n.Transport.Deregister(name)
+	delete(n.peers, name)
+	n.dead[name] = p
+}
+
+// RevivePeer restores a peer previously taken down by KillPeer.
+func (n *Network) RevivePeer(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.dead[name]
+	if !ok {
+		return
+	}
+	n.Transport.Register(name, p.Server)
+	delete(n.dead, name)
+	n.peers[name] = p
 }
 
 // RouteExternal maps a peer name to an external transport (for instance an
@@ -103,15 +149,19 @@ func (n *Network) Peer(name string) (*Peer, bool) {
 
 // PeerNames returns the set of registered peer names, externally routed
 // peers included — the engine peer set the decomposer validates shard maps
-// against.
+// against. Killed peers remain members: a shard map naming a down primary
+// must still plan, so its lanes can fail over to replicas.
 func (n *Network) PeerNames() map[string]bool {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	out := make(map[string]bool, len(n.peers)+len(n.external))
+	out := make(map[string]bool, len(n.peers)+len(n.external)+len(n.dead))
 	for name := range n.peers {
 		out[name] = true
 	}
 	for name := range n.external {
+		out[name] = true
+	}
+	for name := range n.dead {
 		out[name] = true
 	}
 	return out
@@ -249,6 +299,18 @@ type Report struct {
 	// logical-document expressions became scatter loops and which fell back
 	// to materialized-union evaluation, with the violated condition.
 	Shards []core.ShardDecision
+	// Fault tolerance, from replica-aware dispatch under a RetryPolicy.
+	// Retries counts fault-triggered lane re-issues, Hedges the speculative
+	// attempts the hedge timer launched, and WastedNS the wall time burned
+	// in attempts that did not win — the price paid for the tail latency
+	// and availability the winners bought.
+	Retries  int64
+	Hedges   int64
+	WastedNS int64
+	// WinnerReplica maps each scatter target whose lane was NOT answered by
+	// its primary to the replica peer that produced the winning response.
+	// Nil when every lane was won by its primary.
+	WinnerReplica map[string]string
 }
 
 // TotalBytes is the Figure 7 metric: documents plus messages.
@@ -277,7 +339,24 @@ type Session struct {
 	// also resolves at the originator by materializing the union of shards
 	// (the fallback path).
 	Shards []core.ShardMap
-	net    *Network
+	// Retry, when non-nil, makes scatter dispatch fault-tolerant: failed
+	// lanes re-issue to replicas and straggling ones are hedged (see
+	// xrpc.RetryPolicy). Replica sets come from the installed shard maps
+	// and from Replicas; a session with replicas but no policy still fails
+	// over on faults.
+	Retry *xrpc.RetryPolicy
+	// Replicas maps scatter target peers to ordered failover replicas for
+	// hand-written variable-target loops; shard maps with Replicas
+	// contribute their ReplicaSets automatically.
+	Replicas map[string][]string
+	net      *Network
+}
+
+// UseRetry installs a retry/hedging policy on the session and returns the
+// session for chaining.
+func (s *Session) UseRetry(pol *xrpc.RetryPolicy) *Session {
+	s.Retry = pol
+	return s
 }
 
 // UseShards installs shard maps on the session (see Shards) and returns the
@@ -348,6 +427,28 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 			})
 		})
 	}
+	// Replica sets flow to the dispatcher through the engine: shard maps
+	// contribute their per-shard failover order, session-level entries (for
+	// hand-written scatter loops) override per target. Replicas are keyed by
+	// peer name, so two shard maps assigning the same primary *different*
+	// failover sets would silently send one document's lanes to the other's
+	// replicas — reject that outright instead of failing over wrongly.
+	replicas := map[string][]string{}
+	for _, m := range s.Shards {
+		for p, rs := range m.ReplicaSets() {
+			if prev, ok := replicas[p]; ok && !slices.Equal(prev, rs) {
+				return nil, nil, fmt.Errorf(
+					"peer: shard maps assign conflicting replica sets to %s (%v vs %v)", p, prev, rs)
+			}
+			replicas[p] = rs
+		}
+	}
+	for p, rs := range s.Replicas {
+		replicas[p] = append([]string(nil), rs...)
+	}
+	if len(replicas) > 0 {
+		engine.Replicas = replicas
+	}
 	metrics := &xrpc.Metrics{}
 	if s.Strategy != core.DataShipping {
 		client := &xrpc.Client{
@@ -356,6 +457,7 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 			Static:    engine.Static,
 			Relatives: plan.Relatives,
 			Metrics:   metrics,
+			Retry:     s.Retry,
 		}
 		switch {
 		case s.SequentialScatter:
@@ -408,6 +510,15 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 			lanes[i] = netsim.Exchange{ReqBytes: lane.BytesSent, RespBytes: lane.BytesReceived}
 			slanes[i] = streamedExchange(lane)
 			rep.StreamedChunks += int64(len(lane.Chunks))
+			rep.Retries += int64(lane.Retries)
+			rep.Hedges += int64(lane.Hedges)
+			rep.WastedNS += lane.WastedNS
+			if lane.Replica > 0 && lane.Target != "" {
+				if rep.WinnerReplica == nil {
+					rep.WinnerReplica = map[string]string{}
+				}
+				rep.WinnerReplica[lane.Target] = lane.Peer
+			}
 			if len(lane.Chunks) > 0 {
 				waveStreamed[wi] = true
 			}

@@ -27,6 +27,21 @@ type Lane struct {
 	// Chunks, when non-empty, records the streamed arrival of the response
 	// frame by frame; gather-whole exchanges leave it nil.
 	Chunks []ChunkStat
+	// Fault-tolerance provenance, filled by replica-aware dispatch under a
+	// RetryPolicy; zero values mean the first attempt on the primary target
+	// answered. Peer above is always the peer that produced the winning
+	// response; Target is the lane's original scatter target when the two
+	// can differ (replica dispatch).
+	Target string
+	// Replica is the index of the winning peer in the lane's target
+	// rotation (0 = the primary).
+	Replica int
+	// Retries counts fault-triggered re-issues of the exchange.
+	Retries int
+	// Hedges counts hedge-timer-triggered speculative attempts.
+	Hedges int
+	// WastedNS is the wall time burned in attempts that did not win.
+	WastedNS int64
 }
 
 // Metrics accumulates per-exchange measurements used by the benchmark
@@ -138,6 +153,11 @@ type Client struct {
 	// cancelling it aborts in-flight exchanges (through a ContextTransport
 	// or StreamTransport) and releases queued pool workers.
 	Context context.Context
+	// Retry, when non-nil, makes per-lane dispatch fault-tolerant: a failed
+	// exchange is re-issued to the lane's next replica (ScatterBatch.Replicas)
+	// and a slow one is hedged after Retry.HedgeAfter. A nil policy with
+	// replicas present still fails over on faults (see RetryPolicy).
+	Retry *RetryPolicy
 }
 
 // baseContext returns the dispatch base context.
@@ -161,8 +181,11 @@ func (c *Client) CallRemote(target string, x *xq.XRPCExpr, params []xdm.Sequence
 }
 
 // CallRemoteBulk implements Bulk RPC: all iterations travel in one message.
+// Under a RetryPolicy with MaxAttempts > 1 a failed exchange is re-issued to
+// the same target (sequential dispatch carries no replica set — scatter
+// batches do).
 func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, error) {
-	results, lane, err := c.callBulk(target, x, iterations)
+	results, lane, err := c.callLane(c.baseContext(), x, eval.ScatterBatch{Target: target, Iterations: iterations})
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +207,12 @@ func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xd
 // deterministic per-lane outcomes and metrics. Lanes killed by
 // cancellation report context.Canceled — the evaluator reports the genuine
 // failure, never the echo.
+//
+// Under a RetryPolicy (or when a batch carries Replicas) each lane is
+// dispatched through the fault-tolerant runner: a lane only fails — and
+// only then cancels the wave — once its retry/hedge attempts are exhausted,
+// and the error it reports is the original fault of its earliest failed
+// attempt, never a cancellation echo of the loser of a hedge race.
 func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) ([][]xdm.Sequence, []error) {
 	results := make([][]xdm.Sequence, len(batches))
 	errs := make([]error, len(batches))
@@ -207,7 +236,7 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 				errs[i] = err
 				return
 			}
-			results[i], lanes[i], errs[i] = c.callBulkCtx(ctx, batches[i].Target, x, batches[i].Iterations)
+			results[i], lanes[i], errs[i] = c.callLane(ctx, x, batches[i])
 			if errs[i] != nil {
 				cancel()
 			}
@@ -232,12 +261,6 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 		ok = ok[n:]
 	}
 	return results, errs
-}
-
-// callBulk performs one Bulk RPC exchange and accumulates its totals into
-// Metrics; the returned Lane lets the caller group exchanges into waves.
-func (c *Client) callBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, Lane, error) {
-	return c.callBulkCtx(c.baseContext(), target, x, iterations)
 }
 
 // marshalCall builds and serializes the request message of one Bulk RPC.

@@ -1,0 +1,267 @@
+package xrpc
+
+// This file implements per-lane fault tolerance for scatter-gather dispatch:
+// a RetryPolicy that re-issues a failed Bulk RPC to the lane's next replica
+// (retry) and races a speculative duplicate against a slow one (hedging).
+// The winner's response is used, the loser is cancelled, and the lane's
+// provenance (winning replica, retries, hedges, wasted wall time) travels on
+// the Lane record so sessions can report tail-tolerance costs. Correctness
+// rests on the repo-wide invariant that peers evaluate deterministically:
+// two replicas holding byte-identical shard documents produce byte-identical
+// results for the same shipped function, so whichever attempt wins, the
+// gathered query result is unchanged.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"distxq/internal/eval"
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// RetryPolicy configures per-lane fault tolerance of dispatch. The zero
+// value (or a nil policy) with no replicas disables retrying entirely —
+// exactly the pre-policy behavior.
+type RetryPolicy struct {
+	// MaxAttempts caps the total attempts of one lane, the first try
+	// included; attempts rotate through the lane's target list (primary,
+	// then replicas in order, wrapping around). Zero means one attempt per
+	// available target — with two replicas, up to three attempts.
+	MaxAttempts int
+	// Backoff is the wait before re-issuing after a failed attempt. Hedged
+	// attempts skip it: a hedge races the slow attempt, it does not replace
+	// a failed one.
+	Backoff time.Duration
+	// HedgeAfter, when positive, launches a speculative duplicate of the
+	// exchange on the next target of the rotation if the newest attempt has
+	// not answered within this duration. The first response wins and the
+	// losers are cancelled (torn down over cancellation-aware transports).
+	// Streamed lanes treat it as a liveness bound on the first response
+	// frame: a lane whose stream has not started by then is cancelled and
+	// re-issued to the next replica (see StreamedClient).
+	HedgeAfter time.Duration
+}
+
+// maxAttempts resolves the attempt budget of a lane with the given number
+// of replicas. A nil policy still fails over across replicas once each —
+// installing a replica set alone buys fault tolerance, without hedging.
+func (p *RetryPolicy) maxAttempts(replicas int) int {
+	if p != nil && p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 1 + replicas
+}
+
+// hedgeAfter returns the hedge deadline, zero when hedging is off.
+func (p *RetryPolicy) hedgeAfter() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.HedgeAfter
+}
+
+// backoff returns the retry backoff, zero when none is configured.
+func (p *RetryPolicy) backoff() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.Backoff
+}
+
+// laneTargets returns the lane's target rotation: the primary first, then
+// the replicas in failover order.
+func laneTargets(batch eval.ScatterBatch) []string {
+	return append([]string{batch.Target}, batch.Replicas...)
+}
+
+// firstFault tracks the error the lane reports when every attempt failed:
+// the fault of the earliest attempt that failed genuinely. Cancellation
+// echoes (the dispatcher tearing down the loser of a race, or the whole
+// wave aborting) are remembered only as a last resort — a lane must never
+// report "context canceled" when a real fault started the failover.
+type firstFault struct {
+	attempt int
+	err     error
+	echo    error
+}
+
+func (f *firstFault) record(attempt int, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if f.echo == nil {
+			f.echo = err
+		}
+		return
+	}
+	if f.err == nil || attempt < f.attempt {
+		f.attempt, f.err = attempt, err
+	}
+}
+
+func (f *firstFault) error() error {
+	if f.err != nil {
+		return f.err
+	}
+	if f.echo != nil {
+		return f.echo
+	}
+	return fmt.Errorf("xrpc: lane dispatch exhausted its attempts")
+}
+
+// attemptOutcome is one attempt's report back to the lane runner.
+type attemptOutcome struct {
+	attempt int
+	replica int
+	peer    string
+	results []xdm.Sequence
+	lane    Lane
+	err     error
+	wallNS  int64
+}
+
+// callLane performs one scatter lane's Bulk RPC under the client's
+// RetryPolicy. Without a policy and without replicas it is exactly one
+// exchange. Otherwise attempts rotate through the lane's targets: a failed
+// attempt is re-issued (after Backoff) to the next one, and when HedgeAfter
+// is set a speculative duplicate races any attempt that has not answered in
+// time. The first successful attempt wins; every other attempt is cancelled
+// and its wall time accounted as the lane's WastedNS. Exchanges already in
+// flight over transports without cancellation support run to completion,
+// but their results are discarded — duplicated responses are safe because
+// peer evaluation is deterministic and only the winner's response is
+// gathered.
+func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch) ([]xdm.Sequence, Lane, error) {
+	max := c.Retry.maxAttempts(len(batch.Replicas))
+	if max <= 1 {
+		return c.callBulkCtx(ctx, batch.Target, x, batch.Iterations)
+	}
+	targets := laneTargets(batch)
+	lctx, lcancel := context.WithCancel(ctx)
+	defer lcancel()
+
+	outcomes := make(chan attemptOutcome, max)
+	starts := make([]time.Time, 0, max)
+	launched, outstanding := 0, 0
+	retries, hedges := 0, 0
+	launch := func(hedge bool) {
+		a := launched
+		starts = append(starts, time.Now())
+		launched++
+		outstanding++
+		if a > 0 {
+			if hedge {
+				hedges++
+			} else {
+				retries++
+			}
+		}
+		peer := targets[a%len(targets)]
+		go func() {
+			t0 := time.Now()
+			results, lane, err := c.callBulkCtx(lctx, peer, x, batch.Iterations)
+			outcomes <- attemptOutcome{
+				attempt: a, replica: a % len(targets), peer: peer,
+				results: results, lane: lane, err: err,
+				wallNS: time.Since(t0).Nanoseconds(),
+			}
+		}()
+	}
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	armHedge := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		if d := c.Retry.hedgeAfter(); d > 0 && launched < max {
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+	}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	// A failed attempt schedules its re-issue through retryC instead of
+	// sleeping the backoff inline: the event loop keeps draining outcomes
+	// while waiting, so a concurrently outstanding hedge's success wins
+	// immediately and the pending retry is abandoned.
+	var retryTimer *time.Timer
+	var retryC <-chan time.Time
+	scheduleRetry := func() {
+		if launched >= max || lctx.Err() != nil || retryC != nil {
+			return
+		}
+		if d := c.Retry.backoff(); d > 0 {
+			retryTimer = time.NewTimer(d)
+			retryC = retryTimer.C
+			return
+		}
+		launch(false)
+		armHedge()
+	}
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+
+	fault := &firstFault{}
+	loserWall := map[int]int64{}
+	var winner *attemptOutcome
+	launch(false)
+	armHedge()
+	for winner == nil && (outstanding > 0 || retryC != nil) {
+		select {
+		case o := <-outcomes:
+			outstanding--
+			if o.err == nil {
+				winner = &o
+				continue
+			}
+			fault.record(o.attempt, o.err)
+			loserWall[o.attempt] = o.wallNS
+			scheduleRetry()
+		case <-retryC:
+			retryTimer, retryC = nil, nil
+			launch(false)
+			armHedge()
+		case <-timerC:
+			launch(true)
+			armHedge()
+		}
+	}
+	if winner == nil {
+		return nil, Lane{}, fault.error()
+	}
+	// Tear down the losers (cancellation-aware transports abort mid-flight)
+	// and charge the lane for the work they burned: completed losers their
+	// measured wall time, still-running ones the time since their launch.
+	lcancel()
+	var wasted int64
+	for a := 0; a < launched; a++ {
+		if a == winner.attempt {
+			continue
+		}
+		if w, ok := loserWall[a]; ok {
+			wasted += w
+		} else {
+			wasted += time.Since(starts[a]).Nanoseconds()
+		}
+	}
+	lane := winner.lane
+	lane.Target = batch.Target
+	lane.Replica = winner.replica
+	lane.Retries = retries
+	lane.Hedges = hedges
+	lane.WastedNS = wasted
+	return winner.results, lane, nil
+}

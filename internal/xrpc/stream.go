@@ -395,7 +395,7 @@ func (c *StreamedClient) CallRemoteScatterStream(x *xq.XRPCExpr, batches []eval.
 					return
 				}
 			}
-			lane, err := c.streamLane(ctx, batches[i].Target, x, batches[i].Iterations, chans[i])
+			lane, err := c.runStreamLane(ctx, x, batches[i], chans[i])
 			lanes[i] = lane
 			if err != nil {
 				failed[i] = true
@@ -472,13 +472,19 @@ func (st *laneState) accept(ch *ResponseChunk) error {
 	return nil
 }
 
+// deliverFunc forwards one decoded result increment to the lane's consumer;
+// false means the dispatch was cancelled and the lane must abort.
+type deliverFunc func(eval.StreamChunk) bool
+
 // streamLane performs one streamed Bulk RPC exchange, delivering result
-// increments to ch as frames arrive and accumulating metrics totals exactly
-// like callBulk does for gather-whole exchanges.
-func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, ch chan<- eval.StreamChunk) (Lane, error) {
+// increments through deliver as frames arrive and accumulating metrics
+// totals exactly like callBulkCtx does for gather-whole exchanges. onFrame,
+// when non-nil, is invoked as each response frame reaches the originator —
+// the liveness signal the retry runner's hedge timer watches.
+func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, deliver deliverFunc, onFrame func()) (Lane, error) {
 	stx, streams := c.Transport.(StreamTransport)
 	if !streams {
-		return c.gatherLane(ctx, target, x, iterations, ch)
+		return c.gatherLane(ctx, target, x, iterations, deliver)
 	}
 	data, serNS, err := c.marshalCall(target, x, iterations)
 	if err != nil {
@@ -486,6 +492,9 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 	}
 	st := &laneState{expect: len(iterations)}
 	sink := func(frame []byte) error {
+		if onFrame != nil {
+			onFrame()
+		}
 		t0 := time.Now()
 		chunk, perr := ParseResponseChunk(frame)
 		if perr != nil {
@@ -508,8 +517,8 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 				st.serdeNS += resp.SerializeNanos
 				st.done = true
 				for i, res := range resp.Results {
-					if !sendChunk(ctx, ch, eval.StreamChunk{Iteration: i, Items: res}) {
-						return ctx.Err()
+					if !deliver(eval.StreamChunk{Iteration: i, Items: res}) {
+						return context.Canceled
 					}
 				}
 				return nil
@@ -530,19 +539,35 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 		st.chunks = append(st.chunks, ChunkStat{
 			Bytes: int64(len(frame)), ExecNS: chunk.ExecNanos, DeserNS: deser,
 		})
-		if !sendChunk(ctx, ch, eval.StreamChunk{Iteration: chunk.Call, Items: chunk.Items}) {
-			return ctx.Err()
+		if !deliver(eval.StreamChunk{Iteration: chunk.Call, Items: chunk.Items}) {
+			return context.Canceled
 		}
 		return nil
 	}
 	t1 := time.Now()
 	err = stx.RoundTripStream(ctx, target, data, sink)
 	wallNS := time.Since(t1).Nanoseconds()
-	if err != nil {
-		return Lane{}, err
+	if err == nil && !st.done {
+		err = fmt.Errorf("xrpc: stream from %s ended without terminal frame", target)
 	}
-	if !st.done {
-		return Lane{}, fmt.Errorf("xrpc: stream from %s ended without terminal frame", target)
+	if err != nil {
+		// A lane that died mid-stream still moved real bytes (the request,
+		// plus every frame received before the fault); account them so a
+		// failover run's traffic totals include the dead primary's partial
+		// stream, not just the winner's. Waves still carry winners only.
+		if c.Metrics != nil && st.recvd > 0 {
+			c.Metrics.Add(&Metrics{
+				Requests:      1,
+				BytesSent:     int64(len(data)),
+				BytesReceived: st.recvd,
+				SerializeNS:   serNS,
+				DeserializeNS: st.deserNS,
+				RemoteExecNS:  st.execNS,
+				ServerSerdeNS: st.serdeNS,
+				RoundTripWall: wallNS,
+			})
+		}
+		return Lane{}, err
 	}
 	lane := Lane{
 		Peer:          target,
@@ -569,15 +594,194 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 
 // gatherLane is the degraded streamLane over a Transport without streaming:
 // one gather-whole exchange, delivered as one increment per iteration.
-func (c *StreamedClient) gatherLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, ch chan<- eval.StreamChunk) (Lane, error) {
+func (c *StreamedClient) gatherLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, deliver deliverFunc) (Lane, error) {
 	results, lane, err := c.callBulkCtx(ctx, target, x, iterations)
 	if err != nil {
 		return Lane{}, err
 	}
 	for i, res := range results {
-		if !sendChunk(ctx, ch, eval.StreamChunk{Iteration: i, Items: res}) {
-			return lane, ctx.Err()
+		if !deliver(eval.StreamChunk{Iteration: i, Items: res}) {
+			return lane, context.Canceled
 		}
 	}
 	return lane, nil
+}
+
+// ------------------------------------------------- fault-tolerant lanes --
+
+// laneProgress records how much of a streamed lane has already been
+// delivered to the consumer, across attempts: everything of calls before
+// call, plus the first item items of call itself (seen marks whether any
+// chunk of call was forwarded — an empty call delivers an itemless chunk).
+type laneProgress struct {
+	call int
+	item int
+	seen bool
+}
+
+// replayFilter wraps deliver so a failover attempt's replayed increments
+// are suppressed. A retried stream restarts from call 0: because replicas
+// hold byte-identical shard documents and evaluation is deterministic, the
+// replayed prefix is byte-identical to what the consumer already received,
+// so the filter forwards only the suffix beyond p — results stay exactly
+// loop-ordered and duplicate-free even when the replacement peer chunks its
+// stream differently.
+func replayFilter(p *laneProgress, deliver deliverFunc) deliverFunc {
+	acall, aitem := 0, 0 // this attempt's position in its own stream
+	return func(chunk eval.StreamChunk) bool {
+		if chunk.Iteration != acall {
+			acall, aitem = chunk.Iteration, 0
+		}
+		start := aitem
+		aitem += len(chunk.Items)
+		switch {
+		case chunk.Iteration < p.call:
+			return true // fully delivered before the failover
+		case chunk.Iteration == p.call:
+			skip := p.item - start
+			if skip < 0 {
+				skip = 0
+			}
+			if skip > len(chunk.Items) {
+				skip = len(chunk.Items)
+			}
+			if skip == len(chunk.Items) && p.seen {
+				return true // nothing new in this chunk
+			}
+			p.seen = true
+			if aitem > p.item {
+				p.item = aitem
+			}
+			return deliver(eval.StreamChunk{Iteration: chunk.Iteration, Items: chunk.Items[skip:]})
+		default: // first chunk of a call beyond the failover point
+			p.call, p.item, p.seen = chunk.Iteration, aitem, true
+			return deliver(chunk)
+		}
+	}
+}
+
+// runStreamLane dispatches one streamed scatter lane under the client's
+// RetryPolicy. A lane fault — connection failure, a fault frame, a protocol
+// violation — cancels the attempt and re-issues the call to the lane's next
+// replica, with already-delivered increments suppressed by replayFilter; a
+// lane whose stream has not produced its first frame within HedgeAfter is
+// treated as stalled, cancelled, and re-issued the same way (the streamed
+// hedge is a cancel-and-switch rather than the gather path's concurrent
+// race: racing two incremental streams would interleave increments, and
+// only one attempt may feed the consumer's ordered channel).
+func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch, ch chan<- eval.StreamChunk) (Lane, error) {
+	forward := func(chunk eval.StreamChunk) bool { return sendChunk(ctx, ch, chunk) }
+	max := c.Retry.maxAttempts(len(batch.Replicas))
+	if max <= 1 {
+		return c.streamLane(ctx, batch.Target, x, batch.Iterations, forward, nil)
+	}
+	targets := laneTargets(batch)
+	progress := &laneProgress{}
+	fault := &firstFault{}
+	retries, hedges := 0, 0
+	var wasted int64
+	stalled := false
+	for attempt := 0; attempt < max; attempt++ {
+		if attempt > 0 {
+			if stalled {
+				hedges++
+			} else {
+				retries++
+				if d := c.Retry.backoff(); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+					}
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		target := targets[attempt%len(targets)]
+		actx, acancel := context.WithCancel(ctx)
+		frames := make(chan struct{}, 1)
+		onFrame := func() {
+			select {
+			case frames <- struct{}{}:
+			default:
+			}
+		}
+		type outcome struct {
+			lane Lane
+			err  error
+		}
+		win := func(o outcome) Lane {
+			lane := o.lane
+			lane.Target = batch.Target
+			lane.Replica = attempt % len(targets)
+			lane.Retries = retries
+			lane.Hedges = hedges
+			lane.WastedNS = wasted
+			return lane
+		}
+		outc := make(chan outcome, 1)
+		// The filter's attempt-local stream position starts fresh for each
+		// attempt (every retry replays from call 0); only the shared
+		// delivered-progress record persists across attempts.
+		deliver := replayFilter(progress, forward)
+		t0 := time.Now()
+		go func() {
+			lane, err := c.streamLane(actx, target, x, batch.Iterations, deliver, onFrame)
+			outc <- outcome{lane, err}
+		}()
+		var hedgeC <-chan time.Time
+		var hedgeTimer *time.Timer
+		if d := c.Retry.hedgeAfter(); d > 0 && attempt+1 < max {
+			hedgeTimer = time.NewTimer(d)
+			hedgeC = hedgeTimer.C
+		}
+		stalled = false
+	wait:
+		for {
+			select {
+			case o := <-outc:
+				if o.err == nil {
+					if hedgeTimer != nil {
+						hedgeTimer.Stop()
+					}
+					acancel()
+					return win(o), nil
+				}
+				fault.record(attempt, o.err)
+				wasted += time.Since(t0).Nanoseconds()
+				break wait
+			case <-frames:
+				// The stream is alive: disarm the stall bound. Mid-stream
+				// faults still fail over (with replay suppression); only
+				// the never-started case is time-bounded.
+				if hedgeTimer != nil {
+					hedgeTimer.Stop()
+					hedgeC = nil
+				}
+			case <-hedgeC:
+				stalled = true
+				acancel()
+				o := <-outc // let the cancelled attempt unwind
+				if o.err == nil {
+					// The stream completed in the race window between the
+					// timer firing and the cancellation landing: that is a
+					// win, not a stall — re-issuing would discard a fully
+					// delivered lane.
+					if hedgeTimer != nil {
+						hedgeTimer.Stop()
+					}
+					return win(o), nil
+				}
+				fault.record(attempt, o.err)
+				wasted += time.Since(t0).Nanoseconds()
+				break wait
+			}
+		}
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+		acancel()
+	}
+	return Lane{}, fault.error()
 }

@@ -44,6 +44,16 @@ func (t *InMemoryTransport) Register(peer string, h Handler) {
 	t.handlers[peer] = h
 }
 
+// Deregister removes a peer's handler: subsequent exchanges naming the peer
+// fail with the unknown-peer transport error — the in-memory equivalent of
+// a dead host refusing connections. Fault-injection harnesses use it to
+// kill a peer; Register revives it.
+func (t *InMemoryTransport) Deregister(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, peer)
+}
+
 func (t *InMemoryTransport) handler(peer string) (Handler, error) {
 	t.mu.RLock()
 	h, ok := t.handlers[peer]
