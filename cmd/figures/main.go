@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	figures [-fig all|7|8|9|10] [-size bytes] [-steps n]
+//	figures [-fig all|7|8|9|10|scatter|shard|stream|hedge|load] [-size bytes] [-steps n] [-json file]
 //
 // -size sets the largest combined document size of the sweep (default 2 MiB;
 // the paper used 320 MB on a cluster — larger sizes just take longer).
+// -json additionally writes the timing figures' points as one JSON document
+// (see cmd/figures/json.go) for CI to archive across commits.
 package main
 
 import (
@@ -19,11 +21,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, hedge")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, hedge, load")
 	size := flag.Int64("size", 1<<21, "largest combined document size in bytes")
 	steps := flag.Int("steps", 5, "number of sizes in the sweep (halving per step)")
 	maxPeers := flag.Int("peers", 8, "largest peer count of the scatter sweep (doubling from 1)")
+	jsonPath := flag.String("json", "", "also write machine-readable points to this file (e.g. BENCH_scatter.json)")
 	flag.Parse()
+	sink := newJSONSink()
 
 	var sizes []int64
 	for s, i := *size, 0; i < *steps && s >= 1<<14; i, s = i+1, s/2 {
@@ -82,6 +86,7 @@ func main() {
 			return err
 		}
 		bench.PrintFigScatter(os.Stdout, *size, rows)
+		sink.addScatter(*size, rows)
 		return nil
 	})
 	run("stream", func() error {
@@ -113,6 +118,7 @@ func main() {
 		cfg.Lanes = *maxPeers
 		rows := bench.FigHedge(cfg, bench.DefaultHedgeAfters)
 		bench.PrintFigHedge(os.Stdout, cfg, rows)
+		sink.addHedge(rows)
 		fmt.Println()
 		fo, err := bench.FigFailover(*size, *maxPeers)
 		if err != nil {
@@ -121,4 +127,20 @@ func main() {
 		bench.PrintFigFailover(os.Stdout, *size, fo)
 		return nil
 	})
+	run("load", func() error {
+		cfg := bench.DefaultLoadConfig()
+		rows, err := bench.FigLoad(cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigLoad(os.Stdout, cfg, rows)
+		sink.addLoad(rows)
+		return nil
+	})
+	if *jsonPath != "" {
+		if err := sink.write(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"distxq/internal/bench"
 )
@@ -167,6 +169,96 @@ func TestFigHedgeLive(t *testing.T) {
 	if row.Retries < 1 || row.Winner == "" {
 		t.Fatalf("failover run did not record the replica win: %+v", row)
 	}
+}
+
+// TestFigLoadGolden locks in the sustained-load report formatting with
+// synthetic (deterministic) measurements — live timings vary, the layout
+// must not.
+func TestFigLoadGolden(t *testing.T) {
+	cfg := bench.DefaultLoadConfig()
+	rows := []bench.LoadRow{
+		{Multiplier: 0.5, OfferedQPS: 100, GoodputQPS: 100, ShedRate: 0, P50NS: 11_000_000, P99NS: 14_000_000},
+		{Multiplier: 1, OfferedQPS: 195, GoodputQPS: 182, ShedRate: 0.07, P50NS: 12_800_000, P99NS: 15_700_000, RejectP99NS: 5_700_000},
+		{Multiplier: 2, OfferedQPS: 382, GoodputQPS: 185, ShedRate: 0.52, P50NS: 13_900_000, P99NS: 15_800_000, RejectP99NS: 6_100_000},
+		{Multiplier: 4, OfferedQPS: 782, GoodputQPS: 184, ShedRate: 0.76, P50NS: 13_400_000, P99NS: 16_000_000, RejectP99NS: 6_100_000},
+	}
+	var buf bytes.Buffer
+	bench.PrintFigLoad(&buf, cfg, rows)
+	checkGolden(t, "fig_load.golden", buf.Bytes())
+}
+
+// TestFigLoadLive drives a short real sweep and asserts the degradation
+// shape: under capacity nothing sheds, past the knee the excess sheds while
+// goodput holds (no collapse) and the admitted tail stays bounded.
+func TestFigLoadLive(t *testing.T) {
+	cfg := bench.DefaultLoadConfig()
+	cfg.Window = 150 * time.Millisecond
+	cfg.Multipliers = []float64{0.5, 4}
+	rows, err := bench.FigLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, over := rows[0], rows[1]
+	if under.Failed != 0 || over.Failed != 0 {
+		t.Fatalf("queries failed outright: under=%d over=%d", under.Failed, over.Failed)
+	}
+	if under.ShedRate != 0 {
+		t.Errorf("shedding below capacity: %v", under.ShedRate)
+	}
+	if over.ShedRate == 0 {
+		t.Error("no shedding at 4x capacity — admission control exercised nothing")
+	}
+	if under.GoodputQPS > 0 && over.GoodputQPS < under.GoodputQPS/2 {
+		t.Errorf("goodput collapsed under overload: %.0f/s vs %.0f/s under capacity",
+			over.GoodputQPS, under.GoodputQPS)
+	}
+	if over.P99NS > 5*under.P99NS {
+		t.Errorf("admitted P99 blew up under overload: %dns vs %dns", over.P99NS, under.P99NS)
+	}
+}
+
+// TestBenchJSON locks the machine-readable (-json) schema: points from each
+// contributing figure land with their metric fields and omit the rest.
+func TestBenchJSON(t *testing.T) {
+	s := newJSONSink()
+	s.addScatter(1<<21, []bench.ScatterRow{{Peers: 2, MaxPeerNS: 1_400_000}})
+	s.addHedge([]bench.HedgeRow{{HedgeAfterNS: 2_000_000, HedgedP50NS: 1_000_000, HedgedP99NS: 3_000_000, Hedges: 7}})
+	s.addLoad([]bench.LoadRow{{Multiplier: 2, OfferedQPS: 382, GoodputQPS: 185, ShedRate: 0.52,
+		P50NS: 13_900_000, P99NS: 15_800_000, RejectP99NS: 6_100_000, Hedges: 3}})
+	b, err := s.marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema string           `json:"schema"`
+		Points []map[string]any `json:"points"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if rep.Schema != "distxq/bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(rep.Points))
+	}
+	for i, want := range []string{"scatter", "hedge", "load"} {
+		if rep.Points[i]["fig"] != want {
+			t.Errorf("point %d fig = %v, want %s", i, rep.Points[i]["fig"], want)
+		}
+	}
+	if _, ok := rep.Points[0]["ns_per_op"]; !ok {
+		t.Error("scatter point lost ns_per_op")
+	}
+	if _, ok := rep.Points[0]["qps"]; ok {
+		t.Error("scatter point carries a zero qps field — omitempty broken")
+	}
+	for _, k := range []string{"qps", "offered_qps", "shed_rate", "p99_ns", "reject_p99_ns"} {
+		if _, ok := rep.Points[2][k]; !ok {
+			t.Errorf("load point lost %s", k)
+		}
+	}
+	checkGolden(t, "bench_scatter.json.golden", b)
 }
 
 // TestFigShardLive drives the real experiment at a small size: beyond the

@@ -1,0 +1,148 @@
+package bench
+
+// This file holds the sustained-load experiment (FigLoad): the federation
+// service driven open-loop at multiples of its configured capacity, showing
+// graceful degradation — goodput holds near capacity past the knee while
+// the excess is shed fast, instead of every query's latency collapsing.
+// Unlike the netsim figures this is a live run: the shape (shed rate rises
+// past 1x, admitted P99 stays bounded) is reproducible, exact timings are
+// not.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"distxq/internal/core"
+	"distxq/internal/load"
+	"distxq/internal/peer"
+	"distxq/internal/service"
+)
+
+// LoadConfig parameterizes the sustained-load figure. The zero value is
+// completed by DefaultLoadConfig.
+type LoadConfig struct {
+	Peers         int           // scatter width (each shard x2-replicated)
+	MaxConcurrent int           // service capacity tokens
+	ServiceDelay  time.Duration // injected per-exchange straggler delay
+	Budget        time.Duration // per-query wall budget
+	Window        time.Duration // submission window per measured point
+	Multipliers   []float64     // offered load as multiples of capacity
+}
+
+// DefaultLoadConfig returns the scenario the figure ships with: capacity
+// 2 tokens x 10ms service time = ~200 QPS, swept from half to 4x that.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Peers:         2,
+		MaxConcurrent: 2,
+		ServiceDelay:  10 * time.Millisecond,
+		Budget:        800 * time.Millisecond,
+		Window:        300 * time.Millisecond,
+		Multipliers:   []float64{0.5, 1, 2, 4},
+	}
+}
+
+// LoadRow is one measured point of the goodput-vs-offered-load sweep.
+type LoadRow struct {
+	Multiplier  float64 // offered load as a multiple of capacity
+	OfferedQPS  float64
+	GoodputQPS  float64
+	ShedRate    float64
+	P50NS       int64 // admitted-query latency quantiles (sheds excluded)
+	P99NS       int64
+	RejectP99NS int64 // time-to-rejection P99 of the shed queries
+	Hedges      int64
+	Failed      int
+}
+
+// FigLoad drives the sustained-load sweep: one open-loop run per offered
+// multiplier against a fresh service over a straggler-injected federation.
+func FigLoad(cfg LoadConfig) ([]LoadRow, error) {
+	def := DefaultLoadConfig()
+	if cfg.Peers <= 0 {
+		cfg.Peers = def.Peers
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = def.MaxConcurrent
+	}
+	if cfg.ServiceDelay <= 0 {
+		cfg.ServiceDelay = def.ServiceDelay
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = def.Budget
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	if len(cfg.Multipliers) == 0 {
+		cfg.Multipliers = def.Multipliers
+	}
+
+	capacityQPS := float64(cfg.MaxConcurrent) / cfg.ServiceDelay.Seconds()
+	var rows []LoadRow
+	for _, mult := range cfg.Multipliers {
+		n := peer.NewNetwork()
+		var primaries []string
+		for i := 1; i <= cfg.Peers; i++ {
+			name := fmt.Sprintf("peer%d", i)
+			doc := fmt.Sprintf(`<people><person><age>%d</age><name>a%d</name></person></people>`, 20+i, i)
+			if err := n.AddPeer(name).LoadXML("d.xml", doc); err != nil {
+				return nil, err
+			}
+			primaries = append(primaries, name)
+		}
+		origin := n.AddPeer("local")
+		for _, name := range primaries {
+			load.SlowPeer(n, name, cfg.ServiceDelay)
+		}
+		quoted := make([]string, len(primaries))
+		for i, p := range primaries {
+			quoted[i] = `"` + p + `"`
+		}
+		query := fmt.Sprintf(`
+declare function young() as item()* {
+  for $x in doc("d.xml")/child::people/child::person
+  return if ($x/child::age < 40) then $x/child::name else ()
+};
+for $p in (%s) return execute at {$p} { young() }`, strings.Join(quoted, ", "))
+
+		svc := service.New(n, origin, core.ByFragment, service.Config{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxConcurrent,
+			MaxQueueWait:  cfg.ServiceDelay / 2,
+			DefaultBudget: core.Budget{Wall: cfg.Budget},
+		})
+		arrival := time.Duration(float64(time.Second) / (capacityQPS * mult))
+		res := load.Run(load.ServiceTarget(svc, query), load.Options{
+			Duration: cfg.Window,
+			Arrival:  arrival,
+		})
+		rows = append(rows, LoadRow{
+			Multiplier:  mult,
+			OfferedQPS:  res.OfferedQPS,
+			GoodputQPS:  res.GoodputQPS,
+			ShedRate:    res.ShedRate,
+			P50NS:       res.Stats.P50.Nanoseconds(),
+			P99NS:       res.Stats.P99.Nanoseconds(),
+			RejectP99NS: res.Stats.RejectP99.Nanoseconds(),
+			Hedges:      res.Hedges,
+			Failed:      res.Failed,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigLoad renders the goodput-vs-offered-load table.
+func PrintFigLoad(w io.Writer, cfg LoadConfig, rows []LoadRow) {
+	fmt.Fprintf(w, "Sustained load — %d-peer scatter, %d tokens x %v service time, budget %v (live run)\n",
+		cfg.Peers, cfg.MaxConcurrent, cfg.ServiceDelay, cfg.Budget)
+	fmt.Fprintf(w, "%9s %9s %9s %7s %10s %10s %10s\n",
+		"offered/x", "offered", "goodput", "shed", "p50", "p99", "rej-p99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9.1f %7.0f/s %7.0f/s %6.0f%% %10s %10s %10s\n",
+			r.Multiplier, r.OfferedQPS, r.GoodputQPS, 100*r.ShedRate,
+			fmtNS(r.P50NS), fmtNS(r.P99NS), fmtNS(r.RejectP99NS))
+	}
+}

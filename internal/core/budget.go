@@ -1,0 +1,38 @@
+package core
+
+import "time"
+
+// Budget bounds one query's end-to-end cost. It is a relative wall-time
+// allowance, not an absolute deadline: the absolute deadline is derived
+// where the query starts (DeadlineFrom) and the remaining allowance is what
+// travels to remote peers, so propagation never depends on synchronized
+// clocks. The zero Budget means unbounded — exactly the pre-budget behavior.
+type Budget struct {
+	// Wall is the total wall-time allowance of the query: planning, local
+	// evaluation, every scatter wave, and result gathering all spend it.
+	Wall time.Duration
+}
+
+// Zero reports whether the budget is absent (unbounded).
+func (b Budget) Zero() bool { return b.Wall <= 0 }
+
+// DeadlineFrom derives the absolute deadline of a query starting at start;
+// ok is false for the zero budget.
+func (b Budget) DeadlineFrom(start time.Time) (deadline time.Time, ok bool) {
+	if b.Zero() {
+		return time.Time{}, false
+	}
+	return start.Add(b.Wall), true
+}
+
+// QueueAllowance is the share of the budget a query may spend waiting in an
+// admission queue before it is shed: a tenth of the allowance. A query that
+// cannot start within it would almost certainly blow its deadline mid-
+// flight anyway; shedding it early costs the originator deadline/10 instead
+// of the full deadline, which is what keeps rejection fast under overload.
+func (b Budget) QueueAllowance() time.Duration {
+	if b.Zero() {
+		return 0
+	}
+	return b.Wall / 10
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudget(t *testing.T) {
+	start := time.Unix(1000, 0)
+	cases := []struct {
+		name      string
+		b         Budget
+		zero      bool
+		deadline  time.Time
+		bounded   bool
+		allowance time.Duration
+	}{
+		{
+			name: "zero budget is unbounded",
+			b:    Budget{},
+			zero: true,
+		},
+		{
+			name: "negative wall is unbounded",
+			b:    Budget{Wall: -time.Second},
+			zero: true,
+		},
+		{
+			name:      "positive wall bounds from start",
+			b:         Budget{Wall: 2 * time.Second},
+			deadline:  start.Add(2 * time.Second),
+			bounded:   true,
+			allowance: 200 * time.Millisecond,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.b.Zero(); got != c.zero {
+				t.Errorf("Zero = %v, want %v", got, c.zero)
+			}
+			dl, ok := c.b.DeadlineFrom(start)
+			if ok != c.bounded {
+				t.Fatalf("DeadlineFrom ok = %v, want %v", ok, c.bounded)
+			}
+			if ok && !dl.Equal(c.deadline) {
+				t.Errorf("deadline %v, want %v", dl, c.deadline)
+			}
+			if got := c.b.QueueAllowance(); got != c.allowance {
+				t.Errorf("QueueAllowance = %v, want %v", got, c.allowance)
+			}
+		})
+	}
+}

@@ -19,12 +19,22 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 )
+
+// ErrDeadlineExceeded is the canonical per-query budget fault: an evaluation
+// aborted because the originator's deadline passed. Every layer above —
+// xrpc lanes, sessions, the federation service — reports budget expiry as an
+// error wrapping this one (errors.Is), never as a bare context.Canceled, so
+// callers can tell "out of time" from "torn down because something else
+// failed".
+var ErrDeadlineExceeded = errors.New("eval: query deadline exceeded")
 
 // Resolver turns a document URI into a document. Implementations decide what
 // xrpc:// URIs mean: a data-shipping resolver fetches the whole remote
@@ -133,6 +143,12 @@ type Engine struct {
 	// Sessions derive it from replica-aware shard maps; set it before
 	// queries dispatch.
 	Replicas map[string][]string
+	// Deadline, when non-zero, bounds every evaluation started through this
+	// engine: the tree-walker checks it periodically and aborts with
+	// ErrDeadlineExceeded once it passes. Sessions set it on their
+	// query-local engine from the query budget; peers serving many requests
+	// use the per-call EvalFunctionDeadline instead.
+	Deadline time.Time
 
 	mu       sync.Mutex
 	docCache map[string]*docEntry
@@ -154,6 +170,11 @@ type Stats struct {
 	// StreamedWaves counts the scatter waves consumed incrementally through
 	// a StreamCaller (a subset of ScatterWaves).
 	StreamedWaves int
+	// DeadlineAborts counts evaluations this engine cut short because their
+	// deadline passed — on a peer, server-side work abandoned because the
+	// originator's budget expired (the observable half of deadline
+	// propagation).
+	DeadlineAborts int
 }
 
 // docEntry is one single-flight slot of the document cache: concurrent
@@ -279,12 +300,26 @@ func (e *Engine) EvalFunction(q *xq.Query, name string, args []xdm.Sequence) (xd
 // default-collation and current-dateTime to the remote peer (Problem 5
 // class 1).
 func (e *Engine) EvalFunctionStatic(q *xq.Query, name string, args []xdm.Sequence, static *StaticContext) (xdm.Sequence, error) {
+	return e.EvalFunctionDeadline(q, name, args, static, time.Time{})
+}
+
+// EvalFunctionDeadline is EvalFunctionStatic bounded by a per-call deadline:
+// once it passes, the tree-walk aborts with ErrDeadlineExceeded and the
+// engine's DeadlineAborts counter records the abandoned work. A zero
+// deadline means unbounded. This is the server-side half of budget
+// propagation — a peer stops evaluating a shipped function the moment the
+// originator's budget expires instead of computing a result nobody will
+// gather.
+func (e *Engine) EvalFunctionDeadline(q *xq.Query, name string, args []xdm.Sequence, static *StaticContext, deadline time.Time) (xdm.Sequence, error) {
 	if err := xq.Normalize(q); err != nil {
 		return nil, err
 	}
 	ctx := e.newContext(q.Funcs)
 	if static != nil {
 		ctx.static = *static
+	}
+	if !deadline.IsZero() {
+		ctx.stop = &stopCheck{eng: e, deadline: deadline}
 	}
 	for _, f := range q.Funcs {
 		if f.Name == name && len(f.Params) == len(args) {
@@ -299,7 +334,51 @@ func (e *Engine) newContext(funcs []*xq.FuncDecl) *context {
 	for _, f := range funcs {
 		fm[fmt.Sprintf("%s/%d", f.Name, len(f.Params))] = f
 	}
-	return &context{eng: e, funcs: fm, static: e.Static}
+	c := &context{eng: e, funcs: fm, static: e.Static}
+	if !e.Deadline.IsZero() {
+		c.stop = &stopCheck{eng: e, deadline: e.Deadline}
+	}
+	return c
+}
+
+// stopCheck interrupts a tree-walk at its deadline. Checking the clock at
+// every node would dominate cheap expressions, so the walk only consults
+// time.Now every stopCheckEvery nodes — a bounded-staleness compromise that
+// keeps overhead invisible while still cutting runaway evaluations within
+// microseconds of the deadline. One stopCheck is shared (by pointer) across
+// every derived context of an evaluation, so the node count is global to the
+// query, not per subtree.
+type stopCheck struct {
+	eng      *Engine
+	deadline time.Time
+	n        uint
+	aborted  bool
+}
+
+// stopCheckEvery is the node-count stride between clock reads.
+const stopCheckEvery = 64
+
+func (s *stopCheck) check() error {
+	if s == nil {
+		return nil
+	}
+	if s.aborted {
+		return fmt.Errorf("eval: %w", ErrDeadlineExceeded)
+	}
+	s.n++
+	if s.n%stopCheckEvery != 0 {
+		return nil
+	}
+	if time.Now().Before(s.deadline) {
+		return nil
+	}
+	s.aborted = true
+	if s.eng != nil {
+		s.eng.mu.Lock()
+		s.eng.Stats.DeadlineAborts++
+		s.eng.mu.Unlock()
+	}
+	return fmt.Errorf("eval: %w", ErrDeadlineExceeded)
 }
 
 // frame is one variable binding in a linked environment.
@@ -318,6 +397,9 @@ type context struct {
 	pos    int      // 1-based context position within the step's input
 	size   int      // context size
 	static StaticContext
+	// stop, when non-nil, is the shared deadline check of this evaluation;
+	// every derived context carries the same pointer.
+	stop *stopCheck
 }
 
 func (c *context) bind(name string, val xdm.Sequence) *context {
@@ -345,7 +427,7 @@ func (c *context) lookup(name string) (xdm.Sequence, bool) {
 // containing only its parameters (XQuery functions do not close over the
 // caller's variables).
 func (c *context) callDeclared(f *xq.FuncDecl, args []xdm.Sequence) (xdm.Sequence, error) {
-	nc := &context{eng: c.eng, funcs: c.funcs, static: c.static}
+	nc := &context{eng: c.eng, funcs: c.funcs, static: c.static, stop: c.stop}
 	for i, p := range f.Params {
 		if err := checkSeqType(args[i], p.Type); err != nil {
 			return nil, fmt.Errorf("eval: %s($%s): %w", f.Name, p.Name, err)

@@ -23,6 +23,9 @@ func newConstructedURI() string {
 }
 
 func (c *context) eval(e xq.Expr) (xdm.Sequence, error) {
+	if err := c.stop.check(); err != nil {
+		return nil, err
+	}
 	switch v := e.(type) {
 	case nil:
 		return xdm.EmptySequence, nil

@@ -1,0 +1,112 @@
+package load
+
+// Fault and straggler injection for load runs. Kills go through the same
+// Network.KillPeer/RevivePeer path the failover tests use — a killed peer's
+// endpoint deregisters, so its lanes fail like a dead host and the dispatch
+// layer must fail over. Stragglers wrap a peer's in-memory endpoint with a
+// fixed service delay, the overload tests' way of making a federation
+// slower than its offered load.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"distxq/internal/peer"
+	"distxq/internal/xrpc"
+)
+
+// Chaos kills random peers for bounded downtimes while a load run is in
+// flight. The victim sequence and kill timing derive from Seed alone, so a
+// run's injected fault schedule is reproducible (completion timing is not —
+// this is a live harness, not a simulation).
+type Chaos struct {
+	// Net is the federation under test; Victims the peers eligible to die.
+	Net     *peer.Network
+	Victims []string
+	// Interval is the mean time between kills (jittered ±50%); Downtime how
+	// long each victim stays dead. At most one victim is down at a time, so
+	// a ×2-replicated federation always has a live copy of every shard.
+	Interval time.Duration
+	Downtime time.Duration
+	// Seed feeds the private PRNG; zero means 1.
+	Seed int64
+}
+
+// Start launches the kill loop and returns its stop function, which revives
+// any currently-dead victim and blocks until the loop exits.
+func (c *Chaos) Start() (stop func()) {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	sleep := func(d time.Duration) bool {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			jitter := time.Duration(rng.Int63n(int64(c.Interval) + 1))
+			if !sleep(c.Interval/2 + jitter) {
+				return
+			}
+			victim := c.Victims[rng.Intn(len(c.Victims))]
+			c.Net.KillPeer(victim)
+			ok := sleep(c.Downtime)
+			c.Net.RevivePeer(victim)
+			if !ok {
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// slowHandler delays a peer's in-memory endpoint by a fixed service time,
+// for both gathered and streamed exchanges.
+type slowHandler struct {
+	inner xrpc.Handler
+	delay time.Duration
+}
+
+func (s *slowHandler) Handle(request []byte) ([]byte, error) {
+	time.Sleep(s.delay)
+	return s.inner.Handle(request)
+}
+
+func (s *slowHandler) HandleStream(request []byte, emit func([]byte) error) error {
+	time.Sleep(s.delay)
+	if sh, ok := s.inner.(xrpc.StreamHandler); ok {
+		return sh.HandleStream(request, emit)
+	}
+	resp, err := s.inner.Handle(request)
+	if err != nil {
+		return err
+	}
+	return emit(resp)
+}
+
+// SlowPeer injects a straggler: the named in-process peer's endpoint gains
+// a fixed service delay on every exchange. The returned restore removes it.
+func SlowPeer(net *peer.Network, name string, delay time.Duration) (restore func()) {
+	p, ok := net.Peer(name)
+	if !ok {
+		return func() {}
+	}
+	net.Transport.Register(name, &slowHandler{inner: p.Server, delay: delay})
+	return func() { net.Transport.Register(name, p.Server) }
+}

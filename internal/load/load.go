@@ -1,0 +1,196 @@
+// Package load is the sustained-load harness for the federation service:
+// an open- or closed-loop arrival generator driven against a front end
+// (service.Service or anything wrapped in a Target), with seeded fault and
+// straggler injection against the underlying peer network. A run reports
+// sustained goodput, admitted-latency quantiles, shed rate and hedge spend;
+// latency statistics come from netsim.Summarize, so shed (never-dispatched)
+// queries count toward the shed rate but never enter the latency
+// distribution.
+package load
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distxq/internal/core"
+	"distxq/internal/netsim"
+	"distxq/internal/peer"
+	"distxq/internal/service"
+	"distxq/internal/xrpc"
+)
+
+// Default knobs of the zero Options.
+const (
+	DefaultDuration = 200 * time.Millisecond
+	DefaultWorkers  = 4
+)
+
+// Options parameterizes one load run.
+type Options struct {
+	// Duration bounds the submission window; in-flight queries at its end
+	// are drained, not cut off. Zero means DefaultDuration.
+	Duration time.Duration
+	// Workers is the closed-loop concurrency: each worker submits queries
+	// back-to-back, so offered load tracks service capacity. Zero means
+	// DefaultWorkers. Ignored when Arrival is set.
+	Workers int
+	// Arrival switches to open-loop generation: one query launches every
+	// Arrival regardless of completions — offered load is fixed, and a
+	// service slower than the arrival rate must queue or shed.
+	Arrival time.Duration
+	// MaxQueries caps submissions across the run (0 = no cap).
+	MaxQueries int
+	// Budget is the per-query wall-time budget handed to the target.
+	Budget core.Budget
+}
+
+func (o Options) duration() time.Duration {
+	if o.Duration > 0 {
+		return o.Duration
+	}
+	return DefaultDuration
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return DefaultWorkers
+}
+
+// Target executes one query of the run under a budget. seq is the global
+// submission index (for round-robining a query mix); the report may be nil
+// when the front end does not expose dispatch provenance (an HTTP gateway).
+type Target func(seq int, budget core.Budget) (*peer.Report, error)
+
+// ServiceTarget adapts a service to a Target, round-robining the query mix.
+func ServiceTarget(svc *service.Service, queries ...string) Target {
+	return func(seq int, budget core.Budget) (*peer.Report, error) {
+		_, rep, err := svc.Query(queries[seq%len(queries)], budget)
+		return rep, err
+	}
+}
+
+// Result is the report of one load run.
+type Result struct {
+	// Offered counts submissions; Completed/Failed/Shed partition their
+	// outcomes (Shed ⊂ neither: a shed query never ran). DeadlineExceeded
+	// is the Failed subset that blew its budget.
+	Offered          int
+	Completed        int
+	Failed           int
+	Shed             int
+	DeadlineExceeded int
+	// Elapsed is submission window plus drain.
+	Elapsed time.Duration
+	// OfferedQPS and GoodputQPS are submissions and completions per second
+	// of Elapsed — sustained goodput is what overload must not collapse.
+	OfferedQPS float64
+	GoodputQPS float64
+	// Stats holds the latency quantiles: P50/P90/P99 over admitted queries
+	// only, RejectP99 over the shed ones (how fast shedding fails).
+	Stats netsim.LoadStats
+	// ShedRate is Shed/Offered.
+	ShedRate float64
+	// Hedges and Retries sum the dispatch provenance of admitted queries
+	// whose target reported one; HedgeRate is hedges per such query — the
+	// speculative spend that bought the tail down.
+	Hedges    int64
+	Retries   int64
+	HedgeRate float64
+}
+
+// Run drives the target under the given arrival process and prices the
+// outcomes. It returns once every launched query has drained.
+func Run(target Target, opts Options) Result {
+	var (
+		mu       sync.Mutex
+		outcomes []netsim.LaneOutcome
+		res      Result
+		reported int
+		seq      atomic.Int64
+	)
+	one := func(i int) {
+		start := time.Now()
+		rep, err := target(i, opts.Budget)
+		lat := time.Since(start)
+		shed := err != nil && errors.Is(err, xrpc.ErrOverloaded)
+		mu.Lock()
+		defer mu.Unlock()
+		outcomes = append(outcomes, netsim.LaneOutcome{Latency: lat, Rejected: shed})
+		switch {
+		case shed:
+			res.Shed++
+		case err != nil:
+			res.Failed++
+			if errors.Is(err, xrpc.ErrDeadlineExceeded) {
+				res.DeadlineExceeded++
+			}
+		default:
+			res.Completed++
+		}
+		if !shed && rep != nil {
+			res.Hedges += rep.Hedges
+			res.Retries += rep.Retries
+			reported++
+		}
+	}
+	// next claims a submission slot, enforcing MaxQueries and the window.
+	deadline := time.Now().Add(opts.duration())
+	next := func() (int, bool) {
+		if time.Now().After(deadline) {
+			return 0, false
+		}
+		i := int(seq.Add(1)) - 1
+		if opts.MaxQueries > 0 && i >= opts.MaxQueries {
+			return 0, false
+		}
+		return i, true
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	if opts.Arrival > 0 {
+		tick := time.NewTicker(opts.Arrival)
+		defer tick.Stop()
+		for {
+			i, ok := next()
+			if !ok {
+				break
+			}
+			wg.Add(1)
+			go func() { defer wg.Done(); one(i) }()
+			<-tick.C
+		}
+	} else {
+		for w := 0; w < opts.workers(); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i, ok := next()
+					if !ok {
+						return
+					}
+					one(i)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	res.Elapsed = time.Since(begin)
+	res.Offered = len(outcomes)
+	res.Stats = netsim.Summarize(outcomes)
+	res.ShedRate = res.Stats.ShedRate()
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.OfferedQPS = float64(res.Offered) / s
+		res.GoodputQPS = float64(res.Completed) / s
+	}
+	if reported > 0 {
+		res.HedgeRate = float64(res.Hedges) / float64(reported)
+	}
+	return res
+}

@@ -1,0 +1,65 @@
+package netsim
+
+import "time"
+
+// This file prices load-test outcomes: latency quantiles over a run that
+// mixes dispatched lanes (hedged or not) with rejected ones. The pitfall it
+// exists to fix: a lane shed by admission control fails in microseconds,
+// and feeding that near-zero "latency" into a percentile makes an
+// overloaded run look *faster* at P99 than a healthy one. Rejected lanes
+// therefore never enter the latency distribution — they only move the shed
+// rate — while still failing fast enough to be worth measuring separately.
+
+// LaneOutcome is one query's (or lane's) fate in a load run.
+type LaneOutcome struct {
+	// Latency is the wall time from submission to outcome.
+	Latency time.Duration
+	// Rejected marks a lane that was never dispatched — shed by admission
+	// control before any work started. Its Latency is the time to the
+	// rejection, which belongs in RejectP99, never in P50/P90/P99.
+	Rejected bool
+}
+
+// LoadStats summarizes a load run: counts on the full population, latency
+// quantiles on dispatched lanes only.
+type LoadStats struct {
+	// Dispatched and Rejected partition the outcomes.
+	Dispatched int
+	Rejected   int
+	// P50/P90/P99 are nearest-rank latency quantiles over dispatched lanes.
+	P50, P90, P99 time.Duration
+	// RejectP99 is the nearest-rank P99 of time-to-rejection over the
+	// rejected lanes — how fast shedding fails, which overload tests bound
+	// against the deadline.
+	RejectP99 time.Duration
+}
+
+// ShedRate is the rejected fraction of all outcomes.
+func (s LoadStats) ShedRate() float64 {
+	total := s.Dispatched + s.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Rejected) / float64(total)
+}
+
+// Summarize computes LoadStats over a run's outcomes. The input is not
+// modified.
+func Summarize(outcomes []LaneOutcome) LoadStats {
+	var st LoadStats
+	var dispatched, rejected []time.Duration
+	for _, o := range outcomes {
+		if o.Rejected {
+			rejected = append(rejected, o.Latency)
+			continue
+		}
+		dispatched = append(dispatched, o.Latency)
+	}
+	st.Dispatched = len(dispatched)
+	st.Rejected = len(rejected)
+	st.P50 = Percentile(dispatched, 50)
+	st.P90 = Percentile(dispatched, 90)
+	st.P99 = Percentile(dispatched, 99)
+	st.RejectP99 = Percentile(rejected, 99)
+	return st
+}

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSummarize checks that latency quantiles are computed over dispatched
+// lanes only — rejected (never-dispatched) lanes move the shed rate and
+// RejectP99 but must not drag P50/P99 toward their near-zero latencies.
+func TestSummarize(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	cases := []struct {
+		name     string
+		outcomes []LaneOutcome
+		want     LoadStats
+		shed     float64
+	}{
+		{
+			name: "empty",
+			want: LoadStats{},
+			shed: 0,
+		},
+		{
+			name: "all dispatched",
+			outcomes: []LaneOutcome{
+				{Latency: ms(10)}, {Latency: ms(20)}, {Latency: ms(30)}, {Latency: ms(40)},
+			},
+			want: LoadStats{Dispatched: 4, P50: ms(20), P90: ms(40), P99: ms(40)},
+			shed: 0,
+		},
+		{
+			name: "rejects excluded from latency quantiles",
+			outcomes: []LaneOutcome{
+				{Latency: ms(10)}, {Latency: ms(20)}, {Latency: ms(30)}, {Latency: ms(40)},
+				// Four fast rejections: naive pooling would report P50 well
+				// under 20ms; the correct P50 over dispatched lanes is 20ms.
+				{Latency: us(5), Rejected: true}, {Latency: us(8), Rejected: true},
+				{Latency: us(3), Rejected: true}, {Latency: us(9), Rejected: true},
+			},
+			want: LoadStats{
+				Dispatched: 4, Rejected: 4,
+				P50: ms(20), P90: ms(40), P99: ms(40),
+				RejectP99: us(9),
+			},
+			shed: 0.5,
+		},
+		{
+			name: "all rejected",
+			outcomes: []LaneOutcome{
+				{Latency: us(4), Rejected: true}, {Latency: us(7), Rejected: true},
+			},
+			want: LoadStats{Rejected: 2, RejectP99: us(7)},
+			shed: 1,
+		},
+		{
+			name: "single dispatched lane",
+			outcomes: []LaneOutcome{
+				{Latency: ms(15)}, {Latency: us(2), Rejected: true},
+			},
+			want: LoadStats{
+				Dispatched: 1, Rejected: 1,
+				P50: ms(15), P90: ms(15), P99: ms(15),
+				RejectP99: us(2),
+			},
+			shed: 0.5,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Summarize(c.outcomes)
+			if got != c.want {
+				t.Errorf("Summarize = %+v, want %+v", got, c.want)
+			}
+			if got.ShedRate() != c.shed {
+				t.Errorf("ShedRate = %v, want %v", got.ShedRate(), c.shed)
+			}
+		})
+	}
+}
+
+// TestSummarizeSlowShedIsNotHidden is the inverse hazard: if rejection is
+// slow (a bug — sheds must fail fast), RejectP99 exposes it instead of it
+// hiding inside the dispatched-lane tail.
+func TestSummarizeSlowShedIsNotHidden(t *testing.T) {
+	st := Summarize([]LaneOutcome{
+		{Latency: 10 * time.Millisecond},
+		{Latency: 500 * time.Millisecond, Rejected: true},
+	})
+	if st.P99 != 10*time.Millisecond {
+		t.Errorf("P99 = %v, want 10ms (rejected lane must not enter)", st.P99)
+	}
+	if st.RejectP99 != 500*time.Millisecond {
+		t.Errorf("RejectP99 = %v, want 500ms", st.RejectP99)
+	}
+}

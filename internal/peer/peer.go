@@ -18,6 +18,7 @@
 package peer
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -349,7 +350,18 @@ type Session struct {
 	// hand-written variable-target loops; shard maps with Replicas
 	// contribute their ReplicaSets automatically.
 	Replicas map[string][]string
-	net      *Network
+	// Budget, when non-zero, bounds each query's end-to-end wall time: local
+	// evaluation aborts at the deadline, dispatch contexts carry it so lanes
+	// tear down, and the remaining allowance travels to remote peers, which
+	// abort server-side evaluation when it runs out. A blown budget surfaces
+	// as an error matching eval.ErrDeadlineExceeded — never a bare
+	// context.Canceled.
+	Budget core.Budget
+	// Health, when non-nil, drives adaptive hedging and replica spreading:
+	// observed lane latencies feed it, and dispatch derives its hedge trigger
+	// and initial replica choice from it (see xrpc.HealthTracker).
+	Health *xrpc.HealthTracker
+	net    *Network
 }
 
 // UseRetry installs a retry/hedging policy on the session and returns the
@@ -363,6 +375,20 @@ func (s *Session) UseRetry(pol *xrpc.RetryPolicy) *Session {
 // session for chaining.
 func (s *Session) UseShards(maps ...core.ShardMap) *Session {
 	s.Shards = append(s.Shards, maps...)
+	return s
+}
+
+// UseBudget bounds every query of the session by a wall-time budget (see
+// Budget) and returns the session for chaining.
+func (s *Session) UseBudget(b core.Budget) *Session {
+	s.Budget = b
+	return s
+}
+
+// UseHealth installs a latency tracker for adaptive hedging and replica
+// spreading (see Health) and returns the session for chaining.
+func (s *Session) UseHealth(h *xrpc.HealthTracker) *Session {
+	s.Health = h
 	return s
 }
 
@@ -450,6 +476,17 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 		engine.Replicas = replicas
 	}
 	metrics := &xrpc.Metrics{}
+	// A budget pins the query's absolute deadline here, once: the engine
+	// aborts local evaluation at it, and the dispatch context carries it so
+	// lanes stamp the remaining allowance onto outgoing requests and tear
+	// down in-flight exchanges when it passes.
+	var queryCtx context.Context
+	if deadline, ok := s.Budget.DeadlineFrom(time.Now()); ok {
+		engine.Deadline = deadline
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		defer cancel()
+		queryCtx = ctx
+	}
 	if s.Strategy != core.DataShipping {
 		client := &xrpc.Client{
 			Transport: s.net.transport(),
@@ -457,7 +494,9 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 			Static:    engine.Static,
 			Relatives: plan.Relatives,
 			Metrics:   metrics,
+			Context:   queryCtx,
 			Retry:     s.Retry,
+			Health:    s.Health,
 		}
 		switch {
 		case s.SequentialScatter:

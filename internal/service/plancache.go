@@ -1,0 +1,54 @@
+package service
+
+import (
+	"sync"
+
+	"distxq/internal/core"
+)
+
+// planCache is a bounded insert-order cache of decomposed plans. Keys embed
+// the shard-map epoch, so a shard-map change invalidates by never matching
+// again; stale entries age out through insertion-order eviction.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*core.Plan
+	order   []string
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = DefaultPlanCacheSize
+	}
+	return &planCache{max: max, entries: map[string]*core.Plan{}}
+}
+
+func (c *planCache) get(key string) (*core.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.entries[key]
+	return p, ok
+}
+
+func (c *planCache) put(key string, p *core.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = p
+		return
+	}
+	for len(c.entries) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = p
+	c.order = append(c.order, key)
+}
+
+// Len reports the number of cached plans.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,270 @@
+// Package service implements the long-lived federation service behind
+// cmd/xqd: a query front end that holds warm transports, caches decomposed
+// plans across queries (keyed by normalized source and shard-map epoch),
+// and guards the engine with admission control — a capacity semaphore plus
+// a bounded wait queue with a queue-time budget — so offered load beyond
+// capacity is shed fast with a typed overload fault instead of collapsing
+// every query's latency. Admitted queries run under per-query wall-time
+// budgets (core.Budget) with adaptive hedging fed by a shared
+// xrpc.HealthTracker.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distxq/internal/core"
+	"distxq/internal/peer"
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+	"distxq/internal/xrpc"
+)
+
+// Defaults of Config's knobs.
+const (
+	DefaultMaxConcurrent = 8
+	DefaultMaxQueueWait  = 100 * time.Millisecond
+	DefaultPlanCacheSize = 128
+)
+
+// Config tunes the service's admission control and execution.
+type Config struct {
+	// MaxConcurrent bounds queries executing at once (the capacity tokens);
+	// zero means DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for a token beyond capacity; a query
+	// arriving to a full queue is shed immediately. Zero means
+	// 2*MaxConcurrent; negative disables queueing (shed at capacity).
+	MaxQueue int
+	// MaxQueueWait caps how long an admitted-to-queue query may wait for a
+	// token; a budgeted query waits at most min(MaxQueueWait, budget/10).
+	// Zero means DefaultMaxQueueWait.
+	MaxQueueWait time.Duration
+	// DefaultBudget applies to queries submitted without one; the zero
+	// budget leaves them unbounded.
+	DefaultBudget core.Budget
+	// Streamed executes scatter dispatch through the streaming client.
+	Streamed bool
+	// PlanCacheSize bounds the decomposed-plan cache; zero means
+	// DefaultPlanCacheSize.
+	PlanCacheSize int
+}
+
+func (c Config) maxConcurrent() int {
+	if c.MaxConcurrent > 0 {
+		return c.MaxConcurrent
+	}
+	return DefaultMaxConcurrent
+}
+
+func (c Config) maxQueue() int {
+	switch {
+	case c.MaxQueue > 0:
+		return c.MaxQueue
+	case c.MaxQueue < 0:
+		return 0
+	}
+	return 2 * c.maxConcurrent()
+}
+
+func (c Config) maxQueueWait() time.Duration {
+	if c.MaxQueueWait > 0 {
+		return c.MaxQueueWait
+	}
+	return DefaultMaxQueueWait
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	// Admitted counts queries that got a capacity token (immediately or
+	// after queueing); Shed counts queries rejected by admission control —
+	// full queue or spent queue-time budget.
+	Admitted int64
+	Shed     int64
+	// Completed/Failed partition the admitted queries by outcome;
+	// DeadlineExceeded counts the Failed subset that blew its budget.
+	Completed        int64
+	Failed           int64
+	DeadlineExceeded int64
+	// PlanHits/PlanMisses count plan-cache lookups.
+	PlanHits   int64
+	PlanMisses int64
+}
+
+// Service executes queries for one originator peer over a federation, with
+// admission control, plan caching, budgets, and adaptive hedging. Safe for
+// concurrent use.
+type Service struct {
+	cfg      Config
+	net      *peer.Network
+	origin   *peer.Peer
+	strategy core.Strategy
+	// Health is the shared latency tracker driving adaptive hedging; one
+	// tracker accumulates observations across every query of the service.
+	Health *xrpc.HealthTracker
+	// Replicas maps scatter targets to ordered failover replicas for
+	// hand-written variable-target loops (see peer.Session.Replicas). Set
+	// before serving queries.
+	Replicas map[string][]string
+
+	retry *xrpc.RetryPolicy
+	sem   chan struct{}
+
+	mu     sync.Mutex
+	shards []core.ShardMap
+	epoch  int64
+
+	queued atomic.Int64
+	plans  *planCache
+
+	admitted, shed, completed, failed, deadline atomic.Int64
+	planHits, planMisses                        atomic.Int64
+}
+
+// New creates a service originating queries at origin under one strategy.
+func New(net *peer.Network, origin *peer.Peer, strat core.Strategy, cfg Config) *Service {
+	return &Service{
+		cfg:      cfg,
+		net:      net,
+		origin:   origin,
+		strategy: strat,
+		Health:   xrpc.NewHealthTracker(),
+		sem:      make(chan struct{}, cfg.maxConcurrent()),
+		plans:    newPlanCache(cfg.PlanCacheSize),
+	}
+}
+
+// UseRetry installs the retry/hedging policy applied to every query.
+func (s *Service) UseRetry(pol *xrpc.RetryPolicy) *Service {
+	s.retry = pol
+	return s
+}
+
+// UseShards installs shard maps and bumps the shard-map epoch: cached plans
+// decomposed under the old maps stop matching and are re-planned on demand.
+func (s *Service) UseShards(maps ...core.ShardMap) *Service {
+	s.mu.Lock()
+	s.shards = append(s.shards, maps...)
+	s.epoch++
+	s.mu.Unlock()
+	return s
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Admitted:         s.admitted.Load(),
+		Shed:             s.shed.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failed.Load(),
+		DeadlineExceeded: s.deadline.Load(),
+		PlanHits:         s.planHits.Load(),
+		PlanMisses:       s.planMisses.Load(),
+	}
+}
+
+// admit acquires a capacity token, queueing up to the queue-time budget.
+// The returned release must be called when the query finishes. A nil
+// release means the query was shed; the error matches xrpc.ErrOverloaded.
+func (s *Service) admit(budget core.Budget) (release func(), err error) {
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if max := int64(s.cfg.maxQueue()); s.queued.Add(1) > max {
+		s.queued.Add(-1)
+		return nil, fmt.Errorf("service: admission queue full: %w", xrpc.ErrOverloaded)
+	}
+	defer s.queued.Add(-1)
+	wait := s.cfg.maxQueueWait()
+	if qa := budget.QueueAllowance(); qa > 0 && qa < wait {
+		wait = qa
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	case <-t.C:
+		return nil, fmt.Errorf("service: queue-time budget (%v) spent: %w", wait, xrpc.ErrOverloaded)
+	}
+}
+
+// plan returns the decomposed plan of query source, from the cache when the
+// same normalized source was planned under the current shard-map epoch. A
+// cached plan's AST is normalized exactly once, before publication, so
+// concurrent executions share it read-only.
+func (s *Service) plan(src string) (*core.Plan, []core.ShardMap, error) {
+	q, err := xq.ParseQuery(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	shards := s.shards
+	epoch := s.epoch
+	s.mu.Unlock()
+	key := fmt.Sprintf("%d|%d|%s", epoch, s.strategy, xq.PrintQuery(q))
+	if p, ok := s.plans.get(key); ok {
+		s.planHits.Add(1)
+		return p, shards, nil
+	}
+	s.planMisses.Add(1)
+	opts := core.DefaultOptions()
+	opts.Shards = shards
+	if len(shards) > 0 {
+		opts.KnownPeers = s.net.PeerNames()
+	}
+	plan, err := core.Decompose(q, s.strategy, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := xq.Normalize(plan.Query); err != nil {
+		return nil, nil, err
+	}
+	s.plans.put(key, plan)
+	return plan, shards, nil
+}
+
+// Query admits, plans and executes one query under a wall-time budget (the
+// zero budget takes Config.DefaultBudget). Shed queries fail fast with an
+// error matching xrpc.ErrOverloaded; queries that blow their budget fail
+// with one matching xrpc.ErrDeadlineExceeded.
+func (s *Service) Query(src string, budget core.Budget) (xdm.Sequence, *peer.Report, error) {
+	if budget.Zero() {
+		budget = s.cfg.DefaultBudget
+	}
+	release, err := s.admit(budget)
+	if err != nil {
+		s.shed.Add(1)
+		return nil, nil, err
+	}
+	defer release()
+	s.admitted.Add(1)
+	plan, shards, err := s.plan(src)
+	if err != nil {
+		s.failed.Add(1)
+		return nil, nil, err
+	}
+	sess := s.net.NewSession(s.origin, s.strategy).
+		UseBudget(budget).
+		UseRetry(s.retry).
+		UseHealth(s.Health)
+	sess.Streamed = s.cfg.Streamed
+	sess.Shards = shards
+	sess.Replicas = s.Replicas
+	res, rep, err := sess.ExecutePlan(plan)
+	if err != nil {
+		s.failed.Add(1)
+		if errors.Is(err, xrpc.ErrDeadlineExceeded) {
+			s.deadline.Add(1)
+		}
+		return nil, rep, err
+	}
+	s.completed.Add(1)
+	return res, rep, nil
+}

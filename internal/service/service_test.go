@@ -1,0 +1,170 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"distxq/internal/core"
+	"distxq/internal/peer"
+	"distxq/internal/xrpc"
+)
+
+// newTestService builds a two-peer scatter federation behind a service.
+func newTestService(t *testing.T, cfg Config) (*Service, *peer.Network, string) {
+	t.Helper()
+	n := peer.NewNetwork()
+	for i := 1; i <= 2; i++ {
+		doc := fmt.Sprintf(`<r><v>x%d</v></r>`, i)
+		if err := n.AddPeer(fmt.Sprintf("peer%d", i)).LoadXML("d.xml", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	origin := n.AddPeer("local")
+	query := `
+declare function f() as item()* { doc("d.xml")/child::r/child::v };
+for $p in ("peer1", "peer2") return execute at {$p} { f() }`
+	return New(n, origin, core.ByFragment, cfg), n, query
+}
+
+// TestAdmissionQueueFullSheds: with the capacity token and the single queue
+// slot both taken, a third arrival is shed instantly with the typed
+// overload error.
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	s := New(nil, nil, core.ByFragment, Config{
+		MaxConcurrent: 1, MaxQueue: 1, MaxQueueWait: 200 * time.Millisecond,
+	})
+	release, err := s.admit(core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		rel, err := s.admit(core.Budget{})
+		if rel != nil {
+			defer rel()
+		}
+		queued <- err
+	}()
+	// Wait until the queued admit occupies the slot, then the next arrival
+	// must bounce immediately.
+	for deadline := time.Now().Add(time.Second); s.queued.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("second admit never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	rel3, err := s.admit(core.Budget{})
+	if rel3 != nil || !errors.Is(err, xrpc.ErrOverloaded) {
+		t.Fatalf("queue-full admit: release=%v err=%v, want typed overload", rel3 != nil, err)
+	}
+	if e := time.Since(start); e > 50*time.Millisecond {
+		t.Errorf("queue-full shed took %v, want immediate", e)
+	}
+	// Releasing the token admits the queued waiter.
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued admit failed after release: %v", err)
+	}
+}
+
+// TestAdmissionQueueTimeBudget: a queued query waits at most
+// min(MaxQueueWait, budget/10), then sheds with the typed overload error.
+func TestAdmissionQueueTimeBudget(t *testing.T) {
+	s := New(nil, nil, core.ByFragment, Config{
+		MaxConcurrent: 1, MaxQueue: 4, MaxQueueWait: 10 * time.Second,
+	})
+	release, err := s.admit(core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Budget 100ms -> queue allowance 10ms, far under MaxQueueWait.
+	start := time.Now()
+	rel, err := s.admit(core.Budget{Wall: 100 * time.Millisecond})
+	elapsed := time.Since(start)
+	if rel != nil || !errors.Is(err, xrpc.ErrOverloaded) {
+		t.Fatalf("queued admit: release=%v err=%v, want typed overload", rel != nil, err)
+	}
+	if elapsed < 5*time.Millisecond || elapsed > time.Second {
+		t.Errorf("queue wait %v, want ~10ms (budget/10), not MaxQueueWait", elapsed)
+	}
+}
+
+// TestPlanCacheHitsAndEpochInvalidation: repeated queries plan once;
+// installing shard maps bumps the epoch and forces a re-plan.
+func TestPlanCacheHitsAndEpochInvalidation(t *testing.T) {
+	s, _, query := newTestService(t, Config{})
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Query(query, core.Budget{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.PlanMisses != 1 || st.PlanHits != 2 {
+		t.Fatalf("plan cache misses=%d hits=%d, want 1/2", st.PlanMisses, st.PlanHits)
+	}
+	// Epoch bump: same source, fresh plan. The shard map is irrelevant to
+	// this query; only the key's epoch matters.
+	s.UseShards(core.ShardMap{
+		Logical:    "shard://test/d",
+		Peers:      []string{"peer1", "peer2"},
+		ShardPath:  "d.xml",
+		RecordPath: "child::r/child::v",
+	})
+	if _, _, err := s.Query(query, core.Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PlanMisses != 2 {
+		t.Fatalf("post-epoch misses=%d, want 2", st.PlanMisses)
+	}
+}
+
+// TestServiceDeadlineCounted: a spent budget fails the query with the typed
+// deadline error and lands in the DeadlineExceeded counter.
+func TestServiceDeadlineCounted(t *testing.T) {
+	s, _, query := newTestService(t, Config{})
+	_, _, err := s.Query(query, core.Budget{Wall: time.Nanosecond})
+	if err == nil || !errors.Is(err, xrpc.ErrDeadlineExceeded) {
+		t.Fatalf("err=%v, want deadline-exceeded", err)
+	}
+	st := s.Stats()
+	if st.Failed != 1 || st.DeadlineExceeded != 1 {
+		t.Fatalf("failed=%d deadline=%d, want 1/1", st.Failed, st.DeadlineExceeded)
+	}
+}
+
+// TestServiceDefaultBudgetApplied: the zero budget takes Config's default —
+// observable because an impossibly small default kills the query.
+func TestServiceDefaultBudgetApplied(t *testing.T) {
+	s, _, query := newTestService(t, Config{DefaultBudget: core.Budget{Wall: time.Nanosecond}})
+	if _, _, err := s.Query(query, core.Budget{}); !errors.Is(err, xrpc.ErrDeadlineExceeded) {
+		t.Fatalf("err=%v, want deadline-exceeded from default budget", err)
+	}
+}
+
+// TestPlanCacheEviction: the bounded cache evicts in insertion order.
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(2)
+	c.put("a", &core.Plan{})
+	c.put("b", &core.Plan{})
+	c.put("c", &core.Plan{})
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry a survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("entry %s missing", k)
+		}
+	}
+	// Re-putting an existing key replaces without evicting.
+	c.put("b", &core.Plan{})
+	if c.Len() != 2 {
+		t.Errorf("len=%d after re-put, want 2", c.Len())
+	}
+}

@@ -12,6 +12,10 @@ import "distxq/internal/xdm"
 type Query struct {
 	Funcs []*FuncDecl
 	Body  Expr
+	// normalized marks the query as already rewritten into XCore form, so
+	// Normalize is a no-op read on it — required for plans shared between
+	// concurrent executions (see Normalize).
+	normalized bool
 }
 
 // FuncDecl is `declare function name($p as T, ...) as T { body };`.

@@ -17,6 +17,14 @@ import (
 // let-sinking normalization (§IV) lives in internal/core since it is part of
 // the decomposition pipeline.
 func Normalize(q *Query) error {
+	// Normalization is idempotent, so a query that has already been through
+	// it is returned untouched. This is what makes cached plans shareable:
+	// concurrent executions of one plan all call Normalize (Engine.Query
+	// does), and only the first — before the plan is published — may write
+	// the AST.
+	if q.normalized {
+		return nil
+	}
 	funcs := map[string]*FuncDecl{}
 	for _, f := range q.Funcs {
 		key := fmt.Sprintf("%s/%d", f.Name, len(f.Params))
@@ -38,6 +46,7 @@ func Normalize(q *Query) error {
 		return err
 	}
 	q.Body = b
+	q.normalized = true
 	return nil
 }
 

@@ -2,6 +2,7 @@ package xrpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -158,6 +159,45 @@ type Client struct {
 	// and a slow one is hedged after Retry.HedgeAfter. A nil policy with
 	// replicas present still fails over on faults (see RetryPolicy).
 	Retry *RetryPolicy
+	// Health, when non-nil, observes every exchange's latency and faults and
+	// makes hedging adaptive: once a peer has enough fresh samples, the hedge
+	// trigger is its observed P90 instead of the static Retry.HedgeAfter, and
+	// replica spreading (Retry.SpreadReplicas) ranks lanes' initial targets
+	// by health instead of blind rotation.
+	Health *HealthTracker
+
+	// laneSeq numbers dispatched lanes for replica-spread rotation.
+	laneSeq atomic.Uint64
+}
+
+// observe feeds the health tracker one exchange outcome. Cancellation and
+// deadline teardowns are not the peer's fault and are dropped — only a
+// genuine failure extends a fault streak.
+func (c *Client) observe(peer string, wallNS int64, err error) {
+	if c.Health == nil {
+		return
+	}
+	if err == nil {
+		c.Health.Observe(peer, time.Duration(wallNS))
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrDeadlineExceeded) {
+		return
+	}
+	c.Health.ObserveFault(peer)
+}
+
+// hedgeDelay resolves the hedge trigger for an attempt to peer: the health
+// tracker's observed P90 when it has enough fresh samples, else the static
+// policy value.
+func (c *Client) hedgeDelay(peer string) time.Duration {
+	if c.Health != nil {
+		if d, ok := c.Health.HedgeAfter(peer); ok {
+			return d
+		}
+	}
+	return c.Retry.hedgeAfter()
 }
 
 // baseContext returns the dispatch base context.
@@ -233,7 +273,9 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if err := base.Err(); err != nil {
-				errs[i] = err
+				// The lane never dispatched; when the budget (not a peer
+				// fault elsewhere) killed the wave, say so in type.
+				errs[i] = budgetFailure(base, err, batches[i].Target, time.Now())
 				return
 			}
 			results[i], lanes[i], errs[i] = c.callLane(ctx, x, batches[i])
@@ -264,7 +306,10 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 }
 
 // marshalCall builds and serializes the request message of one Bulk RPC.
-func (c *Client) marshalCall(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) (data []byte, serNS int64, err error) {
+// When ctx carries a deadline, the remaining budget is stamped into the
+// request (relative nanoseconds, see Request.BudgetNS); an already-spent
+// budget fails the attempt before any bytes move.
+func (c *Client) marshalCall(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) (data []byte, serNS int64, err error) {
 	if containsRemote(x.Body) {
 		return nil, 0, fmt.Errorf("xrpc: shipped function body contains a nested execute-at; " +
 			"the decomposer never generates these (fcn0 stays local)")
@@ -280,6 +325,13 @@ func (c *Client) marshalCall(target string, x *xq.XRPCExpr, iterations [][]xdm.S
 		Module:    shipModule(x, name),
 		Static:    c.Static,
 		Calls:     iterations,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return nil, 0, &DeadlineError{Peer: target}
+		}
+		req.BudgetNS = remaining.Nanoseconds()
 	}
 	var paramU, paramR []projection.PathSet
 	if c.Semantics == ByProjection {
@@ -318,7 +370,7 @@ func roundTrip(ctx context.Context, t Transport, peer string, request []byte) ([
 }
 
 func (c *Client) callBulkCtx(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, Lane, error) {
-	data, serNS, err := c.marshalCall(target, x, iterations)
+	data, serNS, err := c.marshalCall(ctx, target, x, iterations)
 	if err != nil {
 		return nil, Lane{}, err
 	}
@@ -326,13 +378,16 @@ func (c *Client) callBulkCtx(ctx context.Context, target string, x *xq.XRPCExpr,
 	respData, err := roundTrip(ctx, c.Transport, target, data)
 	wallNS := time.Since(t1).Nanoseconds()
 	if err != nil {
+		c.observe(target, wallNS, err)
 		return nil, Lane{}, err
 	}
 	t2 := time.Now()
 	resp, err := ParseResponse(respData)
 	if err != nil {
+		c.observe(target, wallNS, err)
 		return nil, Lane{}, err
 	}
+	c.observe(target, wallNS, nil)
 	deserNS := time.Since(t2).Nanoseconds()
 	if len(resp.Results) != len(iterations) {
 		return nil, Lane{}, fmt.Errorf("xrpc: response carries %d results for %d calls",

@@ -1,0 +1,92 @@
+package xrpc
+
+// This file defines the typed failure taxonomy of overload-safe dispatch.
+// Two failure classes must survive every hop — transport, SOAP fault
+// message, retry runner, evaluator — without decaying into a bare
+// context.Canceled: a query that ran out of its budget (deadline-exceeded)
+// and a peer that refused work under load (overloaded). Both travel on the
+// wire as SOAP fault codes and surface to callers as errors.Is-matchable
+// sentinels.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"distxq/internal/eval"
+)
+
+// ErrDeadlineExceeded is the sentinel matched by every deadline failure,
+// wherever it was detected: a server-side evaluation cut short (the eval
+// layer owns the canonical value), a deadline-coded fault frame, or a lane
+// abandoned client-side. errors.Is(err, ErrDeadlineExceeded) is the one
+// test callers need.
+var ErrDeadlineExceeded = eval.ErrDeadlineExceeded
+
+// ErrOverloaded is the sentinel matched by admission-control rejections: a
+// peer or daemon that shed the query instead of queueing it into latency
+// collapse. Shed queries fail fast and carry this, never a timeout.
+var ErrOverloaded = errors.New("xrpc: peer overloaded, query shed")
+
+// SOAP fault codes of the typed failure classes. A fault without a code is
+// a generic evaluation failure, exactly as before.
+const (
+	FaultCodeDeadline   = "deadline-exceeded"
+	FaultCodeOverloaded = "overloaded"
+)
+
+// faultCode maps an error to the fault code it must carry on the wire.
+func faultCode(err error) string {
+	switch {
+	case errors.Is(err, ErrDeadlineExceeded):
+		return FaultCodeDeadline
+	case errors.Is(err, ErrOverloaded):
+		return FaultCodeOverloaded
+	}
+	return ""
+}
+
+// DeadlineError reports a lane the dispatcher abandoned because the query
+// budget expired, with the lane's elapsed wall time — the client-side twin
+// of the server's deadline fault.
+type DeadlineError struct {
+	// Peer is the lane's scatter target.
+	Peer string
+	// Elapsed is the lane's wall time from first dispatch to abandonment.
+	Elapsed time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("xrpc: lane to %s exceeded query deadline after %v", e.Peer, e.Elapsed)
+}
+
+// Is matches the deadline sentinel so one errors.Is test covers client- and
+// server-detected expiry alike.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadlineExceeded }
+
+// isDeadline reports whether a lane failure is a deadline expiry — the one
+// failure class retrying cannot fix: the budget is gone no matter which
+// replica answers, so the retry runner must stop, not fail over.
+func isDeadline(err error) bool { return errors.Is(err, ErrDeadlineExceeded) }
+
+// budgetFailure maps a lane failure to a *DeadlineError when the dispatch
+// deadline is the real cause: either an attempt already reported a
+// deadline-typed error, or the context's deadline has passed and the
+// recorded failure is only a cancellation echo of the teardown. Genuine
+// faults (a dead peer, a parse error) pass through untouched — a lane must
+// never blame the deadline for a failure that preceded it.
+func budgetFailure(ctx context.Context, err error, peer string, start time.Time) error {
+	if _, ok := err.(*DeadlineError); ok {
+		return err
+	}
+	if isDeadline(err) {
+		return &DeadlineError{Peer: peer, Elapsed: time.Since(start)}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			return &DeadlineError{Peer: peer, Elapsed: time.Since(start)}
+		}
+	}
+	return err
+}

@@ -16,7 +16,33 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 )
+
+// BudgetHeader duplicates the request message's relative budget (see
+// Request.BudgetNS) as an HTTP header, so daemons can make layer-7
+// admission decisions — shed on overload, fast-reject an already-expired
+// query — without shredding the SOAP body first.
+const BudgetHeader = "X-Xrpc-Budget-Ns"
+
+// setBudgetHeader stamps the remaining budget of ctx onto an outgoing
+// request; a context without a deadline sends none.
+func setBudgetHeader(req *http.Request, ctx context.Context) {
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(BudgetHeader, strconv.FormatInt(time.Until(dl).Nanoseconds(), 10))
+	}
+}
+
+// headerBudgetExpired reports whether an incoming request declares a budget
+// that is already spent — the cheapest possible rejection.
+func headerBudgetExpired(r *http.Request) bool {
+	h := r.Header.Get(BudgetHeader)
+	if h == "" {
+		return false
+	}
+	ns, err := strconv.ParseInt(h, 10, 64)
+	return err == nil && ns <= 0
+}
 
 // HTTPTransport performs XRPC over HTTP POST. It implements Transport,
 // ContextTransport and StreamTransport.
@@ -69,6 +95,7 @@ func (t *HTTPTransport) RoundTripContext(ctx context.Context, peer string, reque
 		return nil, fmt.Errorf("xrpc: POST to %s: %w", peer, err)
 	}
 	req.Header.Set("Content-Type", "application/soap+xml")
+	setBudgetHeader(req, ctx)
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("xrpc: POST to %s: %w", peer, err)
@@ -96,6 +123,7 @@ func (t *HTTPTransport) RoundTripStream(ctx context.Context, peer string, reques
 		return fmt.Errorf("xrpc: POST to %s: %w", peer, err)
 	}
 	req.Header.Set("Content-Type", "application/soap+xml")
+	setBudgetHeader(req, ctx)
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("xrpc: POST to %s: %w", peer, err)
@@ -166,6 +194,11 @@ func NewHTTPHandler(h Handler) http.Handler {
 			http.Error(w, "xrpc requires POST", http.StatusMethodNotAllowed)
 			return
 		}
+		if headerBudgetExpired(r) {
+			w.Header().Set("Content-Type", "application/soap+xml")
+			_, _ = w.Write(MarshalFault(fmt.Errorf("xrpc: budget spent before dispatch: %w", ErrDeadlineExceeded)))
+			return
+		}
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -192,6 +225,11 @@ func NewStreamHTTPHandler(h Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "xrpc requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		if headerBudgetExpired(r) {
+			w.Header().Set("Content-Type", "application/xrpc-stream")
+			_ = writeFrame(w, MarshalFault(fmt.Errorf("xrpc: budget spent before dispatch: %w", ErrDeadlineExceeded)))
 			return
 		}
 		body, err := io.ReadAll(r.Body)

@@ -40,10 +40,14 @@ func MarshalRequest(r *Request, paramUsed, paramReturned []projection.PathSet, o
 	sb.WriteString(envelopeOpen)
 	fmt.Fprintf(&sb, "<%s>", elBody)
 	fmt.Fprintf(&sb,
-		`<%s method="%s" arity="%d" semantics="%s" base-uri="%s" collation="%s" datetime="%s">`,
+		`<%s method="%s" arity="%d" semantics="%s" base-uri="%s" collation="%s" datetime="%s"`,
 		elRequest, escapeAttr(r.Method), r.Arity, r.Semantics,
 		escapeAttr(r.Static.BaseURI), escapeAttr(r.Static.DefaultCollation),
 		escapeAttr(r.Static.CurrentDateTime))
+	if r.BudgetNS > 0 {
+		fmt.Fprintf(&sb, ` budget-ns="%d"`, r.BudgetNS)
+	}
+	sb.WriteString(">")
 	fmt.Fprintf(&sb, "<%s>%s</%s>", elModule, escapeText(r.Module), elModule)
 	if r.Semantics == ByProjection {
 		fmt.Fprintf(&sb, "<%s>", elProjPaths)
@@ -92,6 +96,7 @@ func ParseRequest(data []byte) (*Request, error) {
 		DefaultCollation: attrOr(reqEl, "collation", ""),
 		CurrentDateTime:  attrOr(reqEl, "datetime", ""),
 	}
+	r.BudgetNS, _ = strconv.ParseInt(attrOr(reqEl, "budget-ns", "0"), 10, 64)
 	if m := findChild(reqEl, elModule); m != nil {
 		r.Module = m.StringValue()
 	}
@@ -213,17 +218,44 @@ func ParseResponse(data []byte) (*Response, error) {
 	return resp, nil
 }
 
-// Fault is an XRPC error travelling back as a SOAP fault.
-type Fault struct{ Msg string }
+// Fault is an XRPC error travelling back as a SOAP fault. Code, when
+// non-empty, types the failure class (FaultCodeDeadline, FaultCodeOverloaded)
+// so originators can match it with errors.Is instead of parsing messages.
+type Fault struct {
+	Msg  string
+	Code string
+}
 
-func (f *Fault) Error() string { return "xrpc: remote fault: " + f.Msg }
+func (f *Fault) Error() string {
+	if f.Code != "" {
+		return "xrpc: remote fault [" + f.Code + "]: " + f.Msg
+	}
+	return "xrpc: remote fault: " + f.Msg
+}
 
-// MarshalFault renders an error as a SOAP fault message.
+// Is maps the wire-level fault codes back onto the typed sentinels, so a
+// deadline or overload failure keeps its identity across the SOAP hop.
+func (f *Fault) Is(target error) bool {
+	switch f.Code {
+	case FaultCodeDeadline:
+		return target == ErrDeadlineExceeded
+	case FaultCodeOverloaded:
+		return target == ErrOverloaded
+	}
+	return false
+}
+
+// MarshalFault renders an error as a SOAP fault message, carrying the typed
+// failure class (when the error has one) as an env:Code child.
 func MarshalFault(err error) []byte {
 	var sb strings.Builder
 	sb.WriteString(envelopeOpen)
-	fmt.Fprintf(&sb, "<%s><env:Fault><env:Reason>%s</env:Reason></env:Fault></%s></env:Envelope>",
-		elBody, escapeText(err.Error()), elBody)
+	fmt.Fprintf(&sb, "<%s><env:Fault>", elBody)
+	if code := faultCode(err); code != "" {
+		fmt.Fprintf(&sb, "<env:Code>%s</env:Code>", escapeText(code))
+	}
+	fmt.Fprintf(&sb, "<env:Reason>%s</env:Reason></env:Fault></%s></env:Envelope>",
+		escapeText(err.Error()), elBody)
 	return []byte(sb.String())
 }
 
@@ -239,7 +271,14 @@ func messagePayload(doc *xdm.Document, want string) (*xdm.Node, error) {
 		return nil, fmt.Errorf("xrpc: envelope without body")
 	}
 	if f := findChild(body, "env:Fault"); f != nil {
-		return nil, &Fault{Msg: f.StringValue()}
+		fault := &Fault{Msg: f.StringValue()}
+		if r := findChild(f, "env:Reason"); r != nil {
+			fault.Msg = r.StringValue()
+		}
+		if c := findChild(f, "env:Code"); c != nil {
+			fault.Code = c.StringValue()
+		}
+		return nil, fault
 	}
 	el := findChild(body, want)
 	if el == nil {

@@ -79,6 +79,12 @@ type Request struct {
 	// peer must apply when serializing the response (pass-by-projection).
 	ResultUsed     projection.PathSet
 	ResultReturned projection.PathSet
+	// BudgetNS, when positive, is the originator's remaining query budget in
+	// nanoseconds at marshal time. It travels as a relative duration — never
+	// an absolute deadline — so propagation needs no clock synchronization:
+	// the server re-clocks it from receipt time and aborts evaluation once
+	// the budget is spent, reporting a deadline-coded fault.
+	BudgetNS int64
 	// Calls: per iteration, per parameter, the encoded sequence.
 	Calls [][]xdm.Sequence
 	// fragDocs holds the decoded fragment documents (server side), so tests

@@ -41,9 +41,23 @@ type RetryPolicy struct {
 	// losers are cancelled (torn down over cancellation-aware transports).
 	// Streamed lanes treat it as a liveness bound on the first response
 	// frame: a lane whose stream has not started by then is cancelled and
-	// re-issued to the next replica (see StreamedClient).
+	// re-issued to the next replica (see StreamedClient). A Client with a
+	// HealthTracker overrides this per peer with the observed P90 once
+	// enough fresh samples exist.
 	HedgeAfter time.Duration
+	// SpreadReplicas starts lanes on a rotation of the lane's replica set
+	// instead of always on the primary, so concurrent sessions spread load
+	// across replicas rather than dog-piling each shard's primary. The
+	// rotation is health-ranked when the Client has a HealthTracker and
+	// round-robin otherwise; each lane's failover order stays a fixed,
+	// deterministic permutation of its target list, and replicas hold
+	// byte-identical shards, so results are unchanged. Off by default: the
+	// primary-first baseline keeps single-session runs reproducible.
+	SpreadReplicas bool
 }
+
+// spread reports whether initial lane targets rotate across replicas.
+func (p *RetryPolicy) spread() bool { return p != nil && p.SpreadReplicas }
 
 // maxAttempts resolves the attempt budget of a lane with the given number
 // of replicas. A nil policy still fails over across replicas once each —
@@ -71,10 +85,42 @@ func (p *RetryPolicy) backoff() time.Duration {
 	return p.Backoff
 }
 
-// laneTargets returns the lane's target rotation: the primary first, then
-// the replicas in failover order.
+// laneTargets returns the lane's canonical target list: the primary first,
+// then the replicas in failover order. Lane.Replica indexes into this list
+// regardless of how dispatch rotated it, so "Replica > 0" always means "not
+// the primary".
 func laneTargets(batch eval.ScatterBatch) []string {
 	return append([]string{batch.Target}, batch.Replicas...)
+}
+
+// dispatchTargets returns the rotation a lane's attempts walk. Primary-first
+// by default; under SpreadReplicas consecutive lanes start at different
+// targets — health-ranked when a tracker is installed, round-robin otherwise
+// — while each individual lane's order stays deterministic.
+func (c *Client) dispatchTargets(batch eval.ScatterBatch) []string {
+	targets := laneTargets(batch)
+	if len(targets) <= 1 || !c.Retry.spread() {
+		return targets
+	}
+	seq := c.laneSeq.Add(1) - 1
+	if c.Health != nil {
+		return c.Health.Rank(targets, seq)
+	}
+	off := int(seq % uint64(len(targets)))
+	rot := make([]string, 0, len(targets))
+	rot = append(rot, targets[off:]...)
+	return append(rot, targets[:off]...)
+}
+
+// replicaIndex maps a winning peer back to its index in the lane's
+// canonical (primary-first) target list.
+func replicaIndex(batch eval.ScatterBatch, peer string) int {
+	for i, t := range laneTargets(batch) {
+		if t == peer {
+			return i
+		}
+	}
+	return 0
 }
 
 // firstFault tracks the error the lane reports when every attempt failed:
@@ -136,11 +182,16 @@ type attemptOutcome struct {
 // peer evaluation is deterministic and only the winner's response is
 // gathered.
 func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch) ([]xdm.Sequence, Lane, error) {
+	start := time.Now()
 	max := c.Retry.maxAttempts(len(batch.Replicas))
 	if max <= 1 {
-		return c.callBulkCtx(ctx, batch.Target, x, batch.Iterations)
+		results, lane, err := c.callBulkCtx(ctx, batch.Target, x, batch.Iterations)
+		if err != nil {
+			err = budgetFailure(ctx, err, batch.Target, start)
+		}
+		return results, lane, err
 	}
-	targets := laneTargets(batch)
+	targets := c.dispatchTargets(batch)
 	lctx, lcancel := context.WithCancel(ctx)
 	defer lcancel()
 
@@ -179,7 +230,9 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 			timer.Stop()
 			timer, timerC = nil, nil
 		}
-		if d := c.Retry.hedgeAfter(); d > 0 && launched < max {
+		// The trigger is resolved per attempt against the newest attempt's
+		// peer: a tracked peer hedges at its own observed P90.
+		if d := c.hedgeDelay(targets[(launched-1)%len(targets)]); d > 0 && launched < max {
 			timer = time.NewTimer(d)
 			timerC = timer.C
 		}
@@ -229,7 +282,12 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 			}
 			fault.record(o.attempt, o.err)
 			loserWall[o.attempt] = o.wallNS
-			scheduleRetry()
+			// A deadline expiry is terminal: no replica can answer within a
+			// budget that is already spent, so the lane stops failing over
+			// instead of burning attempts on work the originator will discard.
+			if !isDeadline(o.err) {
+				scheduleRetry()
+			}
 		case <-retryC:
 			retryTimer, retryC = nil, nil
 			launch(false)
@@ -240,7 +298,7 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 		}
 	}
 	if winner == nil {
-		return nil, Lane{}, fault.error()
+		return nil, Lane{}, budgetFailure(ctx, fault.error(), batch.Target, start)
 	}
 	// Tear down the losers (cancellation-aware transports abort mid-flight)
 	// and charge the lane for the work they burned: completed losers their
@@ -259,7 +317,7 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 	}
 	lane := winner.lane
 	lane.Target = batch.Target
-	lane.Replica = winner.replica
+	lane.Replica = replicaIndex(batch, winner.peer)
 	lane.Retries = retries
 	lane.Hedges = hedges
 	lane.WastedNS = wasted

@@ -68,18 +68,32 @@ func responsePaths(req *Request) (used, returned projection.PathSet) {
 	return used, returned
 }
 
+// requestDeadline re-clocks the request's relative budget from arrival
+// time; the zero time means the request carries no budget.
+func requestDeadline(req *Request, arrival time.Time) time.Time {
+	if req.BudgetNS <= 0 {
+		return time.Time{}
+	}
+	return arrival.Add(time.Duration(req.BudgetNS))
+}
+
 // Handle processes one request message: shred, compile the shipped module,
-// evaluate every bulk call, and serialize the response.
+// evaluate every bulk call, and serialize the response. A request carrying
+// a budget is evaluated under the re-clocked deadline: evaluation aborts
+// once the originator's budget is spent, and the abort travels back as a
+// deadline-coded fault instead of a result nobody is waiting for.
 func (s *Server) Handle(request []byte) ([]byte, error) {
+	arrival := time.Now()
 	req, q, static, shredNS, err := s.prepare(request)
 	if err != nil {
 		return nil, err
 	}
+	deadline := requestDeadline(req, arrival)
 
 	t1 := time.Now()
 	resp := &Response{Semantics: req.Semantics}
 	for _, params := range req.Calls {
-		res, err := s.Engine.EvalFunctionStatic(q, req.Method, params, static)
+		res, err := s.Engine.EvalFunctionDeadline(q, req.Method, params, static, deadline)
 		if err != nil {
 			return nil, fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
 		}

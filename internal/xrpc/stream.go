@@ -260,10 +260,12 @@ func MarshalResponseStream(resp *Response, itemsPerChunk int, resultUsed, result
 // instead of after the whole bulk has. Evaluation errors are returned after
 // the frames that precede them; the transport delivers them as fault frames.
 func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
+	arrival := time.Now()
 	req, q, static, shredNS, err := s.prepare(request)
 	if err != nil {
 		return err
 	}
+	deadline := requestDeadline(req, arrival)
 	resultU, resultR := responsePaths(req)
 	var bytesSent int64
 	w := &chunkWriter{
@@ -277,7 +279,7 @@ func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 	var execTotal int64
 	for ci, params := range req.Calls {
 		t0 := time.Now()
-		res, err := s.Engine.EvalFunctionStatic(q, req.Method, params, static)
+		res, err := s.Engine.EvalFunctionDeadline(q, req.Method, params, static, deadline)
 		if err != nil {
 			return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
 		}
@@ -391,7 +393,10 @@ func (c *StreamedClient) CallRemoteScatterStream(x *xq.XRPCExpr, batches []eval.
 				case <-done[i-width]:
 				case <-ctx.Done():
 					failed[i] = true
-					sendChunk(ctx, chans[i], eval.StreamChunk{Err: ctx.Err()})
+					// Queued behind the pool and never dispatched: a blown
+					// budget must surface in type, not as a bare ctx error.
+					sendChunk(ctx, chans[i], eval.StreamChunk{
+						Err: budgetFailure(ctx, ctx.Err(), batches[i].Target, time.Now())})
 					return
 				}
 			}
@@ -486,7 +491,7 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 	if !streams {
 		return c.gatherLane(ctx, target, x, iterations, deliver)
 	}
-	data, serNS, err := c.marshalCall(target, x, iterations)
+	data, serNS, err := c.marshalCall(ctx, target, x, iterations)
 	if err != nil {
 		return Lane{}, err
 	}
@@ -550,6 +555,7 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 	if err == nil && !st.done {
 		err = fmt.Errorf("xrpc: stream from %s ended without terminal frame", target)
 	}
+	c.observe(target, wallNS, err)
 	if err != nil {
 		// A lane that died mid-stream still moved real bytes (the request,
 		// plus every frame received before the fault); account them so a
@@ -670,17 +676,23 @@ func replayFilter(p *laneProgress, deliver deliverFunc) deliverFunc {
 // race: racing two incremental streams would interleave increments, and
 // only one attempt may feed the consumer's ordered channel).
 func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch, ch chan<- eval.StreamChunk) (Lane, error) {
+	start := time.Now()
 	forward := func(chunk eval.StreamChunk) bool { return sendChunk(ctx, ch, chunk) }
 	max := c.Retry.maxAttempts(len(batch.Replicas))
 	if max <= 1 {
-		return c.streamLane(ctx, batch.Target, x, batch.Iterations, forward, nil)
+		lane, err := c.streamLane(ctx, batch.Target, x, batch.Iterations, forward, nil)
+		if err != nil {
+			err = budgetFailure(ctx, err, batch.Target, start)
+		}
+		return lane, err
 	}
-	targets := laneTargets(batch)
+	targets := c.dispatchTargets(batch)
 	progress := &laneProgress{}
 	fault := &firstFault{}
 	retries, hedges := 0, 0
 	var wasted int64
 	stalled := false
+	terminal := false
 	for attempt := 0; attempt < max; attempt++ {
 		if attempt > 0 {
 			if stalled {
@@ -714,7 +726,7 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 		win := func(o outcome) Lane {
 			lane := o.lane
 			lane.Target = batch.Target
-			lane.Replica = attempt % len(targets)
+			lane.Replica = replicaIndex(batch, target)
 			lane.Retries = retries
 			lane.Hedges = hedges
 			lane.WastedNS = wasted
@@ -732,7 +744,7 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 		}()
 		var hedgeC <-chan time.Time
 		var hedgeTimer *time.Timer
-		if d := c.Retry.hedgeAfter(); d > 0 && attempt+1 < max {
+		if d := c.hedgeDelay(target); d > 0 && attempt+1 < max {
 			hedgeTimer = time.NewTimer(d)
 			hedgeC = hedgeTimer.C
 		}
@@ -750,6 +762,9 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 				}
 				fault.record(attempt, o.err)
 				wasted += time.Since(t0).Nanoseconds()
+				// A spent budget is terminal: no replica answers in time that
+				// no longer exists, so the lane stops failing over.
+				terminal = isDeadline(o.err)
 				break wait
 			case <-frames:
 				// The stream is alive: disarm the stall bound. Mid-stream
@@ -775,6 +790,7 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 				}
 				fault.record(attempt, o.err)
 				wasted += time.Since(t0).Nanoseconds()
+				terminal = isDeadline(o.err)
 				break wait
 			}
 		}
@@ -782,6 +798,9 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 			hedgeTimer.Stop()
 		}
 		acancel()
+		if terminal {
+			break
+		}
 	}
-	return Lane{}, fault.error()
+	return Lane{}, budgetFailure(ctx, fault.error(), batch.Target, start)
 }
