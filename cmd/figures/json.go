@@ -51,6 +51,22 @@ func (s *jsonSink) addScatter(size int64, rows []bench.ScatterRow) {
 	}
 }
 
+func (s *jsonSink) addIncremental(rows []bench.IncRow) {
+	for _, r := range rows {
+		s.report.Points = append(s.report.Points,
+			benchPoint{
+				Fig:     "incremental",
+				Label:   fmt.Sprintf("%dB/eager", r.DocBytes),
+				NSPerOp: r.EagerFirstNS,
+			},
+			benchPoint{
+				Fig:     "incremental",
+				Label:   fmt.Sprintf("%dB/incremental", r.DocBytes),
+				NSPerOp: r.IncFirstNS,
+			})
+	}
+}
+
 func (s *jsonSink) addHedge(rows []bench.HedgeRow) {
 	for _, r := range rows {
 		s.report.Points = append(s.report.Points, benchPoint{
@@ -77,6 +93,60 @@ func (s *jsonSink) addLoad(rows []bench.LoadRow) {
 			Hedges:      r.Hedges,
 		})
 	}
+}
+
+// readReport parses a benchReport file previously written by -json.
+func readReport(path string) (*benchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != "distxq/bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, rep.Schema)
+	}
+	return &rep, nil
+}
+
+// checkRegression compares the current run's load points against a baseline
+// report: a point regresses when its goodput falls, or its admitted P99
+// rises, by more than tolerance (fractional, e.g. 0.25). Baseline points
+// missing from the current run count as regressions; extra current points
+// are ignored (new sweeps extend the baseline on the next refresh). Returns
+// human-readable regression descriptions, empty on pass.
+func checkRegression(baseline, current *benchReport, tolerance float64) []string {
+	cur := map[string]benchPoint{}
+	for _, p := range current.Points {
+		if p.Fig == "load" {
+			cur[p.Label] = p
+		}
+	}
+	var regressions []string
+	for _, b := range baseline.Points {
+		if b.Fig != "load" {
+			continue
+		}
+		c, ok := cur[b.Label]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("load %s: point missing from current run", b.Label))
+			continue
+		}
+		if b.QPS > 0 && c.QPS < b.QPS*(1-tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("load %s: goodput %.1f QPS is more than %.0f%% below baseline %.1f",
+					b.Label, c.QPS, tolerance*100, b.QPS))
+		}
+		if b.P99NS > 0 && c.P99NS > int64(float64(b.P99NS)*(1+tolerance)) {
+			regressions = append(regressions,
+				fmt.Sprintf("load %s: admitted P99 %dns is more than %.0f%% above baseline %dns",
+					b.Label, c.P99NS, tolerance*100, b.P99NS))
+		}
+	}
+	return regressions
 }
 
 func (s *jsonSink) marshal() ([]byte, error) {

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	figures [-fig all|7|8|9|10|scatter|shard|stream|hedge|load] [-size bytes] [-steps n] [-json file]
+//	figures [-fig all|7|8|9|10|scatter|shard|stream|incremental|hedge|load] [-size bytes] [-steps n] [-json file] [-check baseline]
 //
 // -size sets the largest combined document size of the sweep (default 2 MiB;
 // the paper used 320 MB on a cluster — larger sizes just take longer).
 // -json additionally writes the timing figures' points as one JSON document
 // (see cmd/figures/json.go) for CI to archive across commits.
+// -check compares this run's load points against a committed baseline file
+// and exits nonzero when goodput drops or admitted P99 rises beyond
+// -tolerance (default 25%) — the CI perf-regression gate.
 package main
 
 import (
@@ -21,11 +24,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, hedge, load")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, incremental, hedge, load")
 	size := flag.Int64("size", 1<<21, "largest combined document size in bytes")
 	steps := flag.Int("steps", 5, "number of sizes in the sweep (halving per step)")
 	maxPeers := flag.Int("peers", 8, "largest peer count of the scatter sweep (doubling from 1)")
 	jsonPath := flag.String("json", "", "also write machine-readable points to this file (e.g. BENCH_scatter.json)")
+	checkPath := flag.String("check", "",
+		"compare this run's load points against a baseline -json file (e.g. BENCH_baseline.json); exit nonzero on regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.25,
+		"fractional regression allowed by -check in goodput (down) and admitted P99 (up)")
 	flag.Parse()
 	sink := newJSONSink()
 
@@ -101,6 +108,15 @@ func main() {
 		bench.PrintFigStream(os.Stdout, *size, rows)
 		return nil
 	})
+	run("incremental", func() error {
+		rows, err := bench.FigIncremental(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigIncremental(os.Stdout, rows)
+		sink.addIncremental(rows)
+		return nil
+	})
 	run("shard", func() error {
 		var counts []int
 		for p := 1; p <= *maxPeers; p *= 2 {
@@ -142,5 +158,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *checkPath != "" {
+		baseline, err := readReport(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: -check: %v\n", err)
+			os.Exit(1)
+		}
+		regressions := checkRegression(baseline, &sink.report, *tolerance)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "figures: regression: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "figures: %d regression(s) beyond %.0f%% against %s\n",
+				len(regressions), *tolerance*100, *checkPath)
+			os.Exit(1)
+		}
+		fmt.Printf("check: no regressions beyond %.0f%% against %s\n", *tolerance*100, *checkPath)
 	}
 }

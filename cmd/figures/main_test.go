@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"distxq/internal/bench"
+	"distxq/internal/xrpc"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -109,6 +110,54 @@ func TestFigStreamLive(t *testing.T) {
 		if r.StreamTotalNS >= r.GatherTotalNS {
 			t.Fatalf("streamed total %dns not strictly below gather-whole %dns: %+v",
 				r.StreamTotalNS, r.GatherTotalNS, r)
+		}
+	}
+}
+
+// TestFigIncrementalGolden locks in the incremental-evaluation report
+// formatting with synthetic (deterministic) measurements.
+func TestFigIncrementalGolden(t *testing.T) {
+	rows := []bench.IncRow{
+		{DocBytes: 1 << 19, Items: 310, Chunks: 11, EagerFirstNS: 3_400_000, IncFirstNS: 690_000,
+			FirstSpeedup: 4.93, EagerPeakItems: 310, IncPeakItems: 32, ResultsEqual: true},
+		{DocBytes: 1 << 20, Items: 640, Chunks: 21, EagerFirstNS: 6_900_000, IncFirstNS: 710_000,
+			FirstSpeedup: 9.72, EagerPeakItems: 640, IncPeakItems: 32, ResultsEqual: true},
+	}
+	var buf bytes.Buffer
+	bench.PrintFigIncremental(&buf, rows)
+	checkGolden(t, "fig_incremental.golden", buf.Bytes())
+}
+
+// TestFigIncrementalLive drives the real single-huge-call experiment: the
+// incremental server must hand the originator its first usable result an
+// integer factor earlier than the eager baseline, with peak buffering
+// bounded by one frame instead of the whole call, and byte-identical
+// results.
+func TestFigIncrementalLive(t *testing.T) {
+	old := bench.StreamReps
+	bench.StreamReps = 3
+	defer func() { bench.StreamReps = old }()
+	rows, err := bench.FigIncremental([]int64{1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.ResultsEqual {
+			t.Fatalf("incremental result diverged from eager: %+v", r)
+		}
+		if r.Chunks < 4 {
+			t.Fatalf("only %d chunks — the call is not huge relative to the frame budget: %+v", r.Chunks, r)
+		}
+		if r.IncPeakItems > int64(xrpc.DefaultChunkItems) {
+			t.Fatalf("incremental peak %d items exceeds one frame (%d): %+v",
+				r.IncPeakItems, xrpc.DefaultChunkItems, r)
+		}
+		if r.EagerPeakItems < r.Items {
+			t.Fatalf("eager peak %d items below the call's %d — baseline not buffering whole call: %+v",
+				r.EagerPeakItems, r.Items, r)
+		}
+		if r.FirstSpeedup < 2 {
+			t.Fatalf("first-result speedup %.2fx below an integer factor: %+v", r.FirstSpeedup, r)
 		}
 	}
 }
@@ -259,6 +308,68 @@ func TestBenchJSON(t *testing.T) {
 		}
 	}
 	checkGolden(t, "bench_scatter.json.golden", b)
+}
+
+// TestCheckRegression covers the -check gate's comparison logic: pass
+// within tolerance, fail on goodput drops and P99 rises beyond it, fail on
+// baseline points missing from the current run, ignore extra current points.
+func TestCheckRegression(t *testing.T) {
+	baseline := &benchReport{Schema: "distxq/bench/v1", Points: []benchPoint{
+		{Fig: "load", Label: "offered=1.0x", QPS: 200, P99NS: 10_000_000},
+		{Fig: "load", Label: "offered=2.0x", QPS: 190, P99NS: 12_000_000},
+		{Fig: "scatter", Label: "ignored", NSPerOp: 1}, // non-load: not compared
+	}}
+	mkCurrent := func(qps1 float64, p99ns1 int64, withSecond bool) *benchReport {
+		rep := &benchReport{Schema: "distxq/bench/v1", Points: []benchPoint{
+			{Fig: "load", Label: "offered=1.0x", QPS: qps1, P99NS: p99ns1},
+			{Fig: "load", Label: "offered=9.0x", QPS: 1, P99NS: 1}, // extra: ignored
+		}}
+		if withSecond {
+			rep.Points = append(rep.Points,
+				benchPoint{Fig: "load", Label: "offered=2.0x", QPS: 190, P99NS: 12_000_000})
+		}
+		return rep
+	}
+	if regs := checkRegression(baseline, mkCurrent(160, 12_000_000, true), 0.25); len(regs) != 0 {
+		t.Errorf("within tolerance, got regressions: %v", regs)
+	}
+	if regs := checkRegression(baseline, mkCurrent(140, 10_000_000, true), 0.25); len(regs) != 1 ||
+		!bytes.Contains([]byte(regs[0]), []byte("goodput")) {
+		t.Errorf("goodput drop beyond 25%% not flagged: %v", regs)
+	}
+	if regs := checkRegression(baseline, mkCurrent(200, 13_000_000, true), 0.25); len(regs) != 1 ||
+		!bytes.Contains([]byte(regs[0]), []byte("P99")) {
+		t.Errorf("P99 rise beyond 25%% not flagged: %v", regs)
+	}
+	if regs := checkRegression(baseline, mkCurrent(200, 10_000_000, false), 0.25); len(regs) != 1 ||
+		!bytes.Contains([]byte(regs[0]), []byte("missing")) {
+		t.Errorf("missing baseline point not flagged: %v", regs)
+	}
+}
+
+// TestReadReportRoundTrip: a -json file written by the sink reads back for
+// -check, and foreign schemas are rejected.
+func TestReadReportRoundTrip(t *testing.T) {
+	s := newJSONSink()
+	s.addLoad([]bench.LoadRow{{Multiplier: 1, OfferedQPS: 100, GoodputQPS: 95, P50NS: 1, P99NS: 2}})
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := s.write(path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Fig != "load" {
+		t.Fatalf("round-trip lost points: %+v", rep)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","points":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(bad); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
 }
 
 // TestFigShardLive drives the real experiment at a small size: beyond the

@@ -48,6 +48,8 @@ func main() {
 		"name=baseURL of a remote xqpeer daemon reached over HTTP (repeatable)")
 	streamed := flag.Bool("stream", false,
 		"dispatch scatter loops over streaming XRPC (chunked result streams)")
+	chunkItems := flag.Int("chunk-items", 0,
+		"result items per streamed response chunk on in-process peers (0 = default)")
 	var replicaSpecs docFlags
 	flag.Var(&replicaSpecs, "replica",
 		"peer=replica1,replica2,... — ordered failover replicas of a scatter target (repeatable)")
@@ -82,6 +84,7 @@ func main() {
 	}
 
 	net := distxq.NewNetwork()
+	net.SetChunkItems(*chunkItems)
 	peers := map[string]*distxq.Peer{}
 	for _, spec := range docs {
 		target, path, ok := strings.Cut(spec, "=")

@@ -61,6 +61,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admission queue depth beyond capacity (0 = default, <0 = none)")
 	queueWait := flag.Duration("queue-wait", 0, "max admission queue wait (0 = default)")
 	streamed := flag.Bool("stream", false, "dispatch scatter loops over streaming XRPC")
+	chunkItems := flag.Int("chunk-items", 0,
+		"result items per streamed response chunk on in-process peers (0 = default)")
 	retries := flag.Int("retry-attempts", 0, "max attempts per scatter lane (0 = one per available copy)")
 	hedgeAfter := flag.Duration("hedge-after", 20*time.Millisecond,
 		"static hedge trigger until the health tracker has observed enough traffic (0 = off)")
@@ -72,6 +74,7 @@ func main() {
 		fail(err)
 	}
 	net := distxq.NewNetwork()
+	net.SetChunkItems(*chunkItems)
 	peers := map[string]*distxq.Peer{}
 	for _, spec := range docs {
 		target, path, ok := strings.Cut(spec, "=")

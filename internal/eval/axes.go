@@ -52,23 +52,9 @@ func (c *context) evalPath(pe *xq.PathExpr) (xdm.Sequence, error) {
 				return nil, fmt.Errorf("eval: path step %s::%s applied to atomic value", st.Axis, st.Test)
 			}
 		}
-		gathered := spare[:0]
-		for _, n := range nodes {
-			start := len(gathered)
-			gathered = appendAxisNodes(gathered, n, st.Axis, st.Test)
-			if len(st.Preds) > 0 {
-				seg, err := c.filterPreds(gathered[start:], st.Preds)
-				if err != nil {
-					return nil, err
-				}
-				gathered = gathered[:start+len(seg)]
-			}
-		}
-		// A single context node yields document-ordered, duplicate-free
-		// results on every axis; only unions across context nodes can
-		// disturb order (and SortDocOrder detects ordered unions in O(n)).
-		if len(nodes) > 1 {
-			gathered = xdm.SortDocOrder(gathered)
+		gathered, err := c.evalStep(nodes, st, spare[:0])
+		if err != nil {
+			return nil, err
 		}
 		spare = nodes[:0] // the consumed context buffer becomes the next target
 		curNodes, haveNodes = gathered, true
@@ -77,6 +63,32 @@ func (c *context) evalPath(pe *xq.PathExpr) (xdm.Sequence, error) {
 		cur = xdm.NodeSeq(curNodes)
 	}
 	return cur, nil
+}
+
+// evalStep maps one non-filter path step over its context nodes: per context
+// node, gather the axis candidates and apply the step predicates within that
+// segment, then re-establish distinct document order across segments. dst is
+// the gather buffer (evalPath passes its ping-pong scratch slice). A single
+// context node yields document-ordered, duplicate-free results on every axis;
+// only unions across context nodes can disturb order (and SortDocOrder
+// detects ordered unions in O(n)).
+func (c *context) evalStep(nodes []*xdm.Node, st *xq.Step, dst []*xdm.Node) ([]*xdm.Node, error) {
+	gathered := dst
+	for _, n := range nodes {
+		start := len(gathered)
+		gathered = appendAxisNodes(gathered, n, st.Axis, st.Test)
+		if len(st.Preds) > 0 {
+			seg, err := c.filterPreds(gathered[start:], st.Preds)
+			if err != nil {
+				return nil, err
+			}
+			gathered = gathered[:start+len(seg)]
+		}
+	}
+	if len(nodes) > 1 {
+		gathered = xdm.SortDocOrder(gathered)
+	}
+	return gathered, nil
 }
 
 // filterItems applies filter-expression predicates over a whole sequence

@@ -271,13 +271,15 @@ func (e *Engine) StatsSnapshot() Stats {
 	return e.Stats
 }
 
-// Query normalizes and evaluates a parsed query.
+// Query normalizes and evaluates a parsed query. It is QuerySeq plus
+// Materialize: evaluation runs through the same lazy producer paths the
+// streaming server pulls from, drained eagerly.
 func (e *Engine) Query(q *xq.Query) (xdm.Sequence, error) {
-	if err := xq.Normalize(q); err != nil {
+	s, err := e.QuerySeq(q)
+	if err != nil {
 		return nil, err
 	}
-	ctx := e.newContext(q.Funcs)
-	return ctx.eval(q.Body)
+	return s.Materialize()
 }
 
 // QueryString parses, normalizes and evaluates query source text.
@@ -324,6 +326,32 @@ func (e *Engine) EvalFunctionDeadline(q *xq.Query, name string, args []xdm.Seque
 	for _, f := range q.Funcs {
 		if f.Name == name && len(f.Params) == len(args) {
 			return ctx.callDeclared(f, args)
+		}
+	}
+	return nil, fmt.Errorf("eval: function %s#%d not declared", name, len(args))
+}
+
+// EvalFunctionSeqDeadline is the lazy twin of EvalFunctionDeadline: it
+// returns the declared function's result as a pull-based sequence without
+// evaluating the body first, so the streaming server can emit chunk frames
+// while the call is still computing. Argument types are checked eagerly
+// (faults beat frames); the result type streams per item when the declared
+// occurrence is `*` and falls back to materialize-then-check otherwise,
+// since occurrence constraints need the whole result.
+func (e *Engine) EvalFunctionSeqDeadline(q *xq.Query, name string, args []xdm.Sequence, static *StaticContext, deadline time.Time) (xdm.Seq, error) {
+	if err := xq.Normalize(q); err != nil {
+		return nil, err
+	}
+	ctx := e.newContext(q.Funcs)
+	if static != nil {
+		ctx.static = *static
+	}
+	if !deadline.IsZero() {
+		ctx.stop = &stopCheck{eng: e, deadline: deadline}
+	}
+	for _, f := range q.Funcs {
+		if f.Name == name && len(f.Params) == len(args) {
+			return ctx.callDeclaredSeq(f, args)
 		}
 	}
 	return nil, fmt.Errorf("eval: function %s#%d not declared", name, len(args))
@@ -442,6 +470,56 @@ func (c *context) callDeclared(f *xq.FuncDecl, args []xdm.Sequence) (xdm.Sequenc
 		return nil, fmt.Errorf("eval: %s result: %w", f.Name, err)
 	}
 	return res, nil
+}
+
+// callDeclaredSeq is callDeclared with a lazy body: parameters are bound and
+// type-checked up front, then the body streams. Shipped XRPC functions
+// declare `item()*` results, so the common server path streams unchecked;
+// constrained occurrences (exactly-one, optional, plus) materialize because
+// they cannot be verified item by item.
+func (c *context) callDeclaredSeq(f *xq.FuncDecl, args []xdm.Sequence) (xdm.Seq, error) {
+	nc := &context{eng: c.eng, funcs: c.funcs, static: c.static, stop: c.stop}
+	for i, p := range f.Params {
+		if err := checkSeqType(args[i], p.Type); err != nil {
+			return nil, fmt.Errorf("eval: %s($%s): %w", f.Name, p.Name, err)
+		}
+		nc = nc.bind(p.Name, args[i])
+	}
+	if f.Return.Occur != xq.OccurStar {
+		return func(yield func(xdm.Item) bool) error {
+			res, err := nc.eval(f.Body)
+			if err != nil {
+				return err
+			}
+			if err := checkSeqType(res, f.Return); err != nil {
+				return fmt.Errorf("eval: %s result: %w", f.Name, err)
+			}
+			for _, it := range res {
+				if !yield(it) {
+					return nil
+				}
+			}
+			return nil
+		}, nil
+	}
+	body := nc.evalSeq(f.Body)
+	if f.Return.Item == "item()" || f.Return.Item == "" {
+		return body, nil
+	}
+	return func(yield func(xdm.Item) bool) error {
+		var typeErr error
+		err := body(func(it xdm.Item) bool {
+			if !itemMatches(it, f.Return.Item) {
+				typeErr = fmt.Errorf("eval: %s result: item %v does not match type %s", f.Name, it, f.Return.Item)
+				return false
+			}
+			return yield(it)
+		})
+		if err != nil {
+			return err
+		}
+		return typeErr
+	}, nil
 }
 
 // checkSeqType enforces occurrence and a light item-type check.

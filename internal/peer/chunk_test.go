@@ -1,0 +1,24 @@
+package peer
+
+import "testing"
+
+// TestSetChunkItems: the network-level frame budget reaches every
+// in-process peer server — added before or after the call, dead or alive.
+func TestSetChunkItems(t *testing.T) {
+	n := NewNetwork()
+	before := n.AddPeer("before")
+	down := n.AddPeer("down")
+	n.KillPeer("down")
+	n.SetChunkItems(7)
+	after := n.AddPeer("after")
+	for _, p := range []*Peer{before, down, after} {
+		if p.Server.ChunkItems != 7 {
+			t.Errorf("peer %s: ChunkItems = %d, want 7", p.Name, p.Server.ChunkItems)
+		}
+	}
+	n.RevivePeer("down")
+	n.SetChunkItems(0)
+	if before.Server.ChunkItems != 0 || down.Server.ChunkItems != 0 {
+		t.Error("reset to default did not propagate")
+	}
+}

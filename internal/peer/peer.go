@@ -58,6 +58,9 @@ type Network struct {
 	dead     map[string]*Peer
 	external map[string]bool
 	router   *xrpc.RouteTransport
+	// chunkItems is applied to every peer server's ChunkItems (see
+	// SetChunkItems); zero leaves the xrpc default.
+	chunkItems int
 }
 
 // NewNetwork creates an empty federation with the paper's 1 Gb/s LAN model.
@@ -133,11 +136,29 @@ func (n *Network) AddPeer(name string) *Peer {
 	p := &Peer{Name: name, store: map[string]*xdm.Document{}, net: n}
 	p.Engine = eval.NewEngine(&peerResolver{peer: p})
 	p.Server = &xrpc.Server{Engine: p.Engine}
-	n.Transport.Register(name, p.Server)
 	n.mu.Lock()
+	p.Server.ChunkItems = n.chunkItems
 	n.peers[name] = p
 	n.mu.Unlock()
+	n.Transport.Register(name, p.Server)
 	return p
+}
+
+// SetChunkItems sets the per-frame result-item budget of every in-process
+// peer's streamed responses, current and future (zero restores the xrpc
+// default). Smaller frames surface first results sooner and bound server
+// buffering tighter, at more framing overhead. Externally routed peers are
+// not affected — configure those daemons directly (xqpeer -chunk-items).
+func (n *Network) SetChunkItems(items int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chunkItems = items
+	for _, p := range n.peers {
+		p.Server.ChunkItems = items
+	}
+	for _, p := range n.dead {
+		p.Server.ChunkItems = items
+	}
 }
 
 // Peer returns a registered peer by name.

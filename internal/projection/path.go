@@ -5,6 +5,14 @@
 // runtime projection algorithm (Algorithm 1), and a compile-time projection
 // baseline in the style of Marian & Siméon used by the Figure 10/11
 // experiments.
+//
+// The runtime technique composes with incremental (chunked) response
+// streaming: every stream frame is self-contained, so RuntimeProject runs
+// per chunk over just that chunk's items, and its projected fragment ships
+// inside the frame. Peak projection state is therefore bounded by a frame's
+// item budget, not by a call's full result; EvalPaths keeps the per-frame
+// cost down by skipping the document-order sort whenever a step's context is
+// ordered and subtree-disjoint (the evaluator's streaming precondition).
 package projection
 
 import (

@@ -421,3 +421,51 @@ func pathStepsString(p Path) string {
 	}
 	return strings.Join(parts, "/")
 }
+
+// TestEvalPathsOrderedFastPath: the downward-axis fast path (sort skipped
+// when the step context is ordered and subtree-disjoint) must produce the
+// same node sets as contexts that force the general sorting path — nested,
+// duplicated, and reversed contexts included.
+func TestEvalPathsOrderedFastPath(t *testing.T) {
+	d := xdm.MustParseString(
+		`<lib><book id="b0"><title>t0</title><pages>100</pages></book>`+
+			`<book id="b1"><title>t1</title><pages>200</pages></book>`+
+			`<book id="b2"><title>t2</title></book></lib>`, "fp.xml")
+	var books []*xdm.Node
+	d.Root.WalkDescendants(func(n *xdm.Node) bool {
+		if n.Kind == xdm.ElementNode && n.Name == "book" {
+			books = append(books, n)
+		}
+		return true
+	})
+	paths := []string{
+		`child::title`,
+		`descendant-or-self::node()`,
+		`attribute::id`,
+		`child::title/parent::node()`, // reverse step disables the fast path mid-path
+	}
+	serialize := func(nodes []*xdm.Node) string {
+		var parts []string
+		for _, n := range nodes {
+			parts = append(parts, xdm.SerializeString(n))
+		}
+		return strings.Join(parts, "|")
+	}
+	for _, ps := range paths {
+		p, err := ParsePath(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ordered-disjoint context: fast path applies on the first step.
+		want := serialize(EvalPaths([]*xdm.Node{books[0], books[1], books[2]}, PathSet{p}))
+		// Reversed and duplicated contexts force the general path.
+		for _, ctx := range [][]*xdm.Node{
+			{books[2], books[1], books[0]},
+			{books[0], books[0], books[1], books[2], books[2]},
+		} {
+			if got := serialize(EvalPaths(ctx, PathSet{p})); got != want {
+				t.Errorf("path %s ctx %v: fast path and general path disagree:\n got %q\nwant %q", ps, ctx, got, want)
+			}
+		}
+	}
+}

@@ -196,6 +196,7 @@ func EvalPaths(ctx []*xdm.Node, paths PathSet) []*xdm.Node {
 		cur := append([]*xdm.Node(nil), ctx...)
 		for _, st := range p.Steps {
 			var next []*xdm.Node
+			ordered := false
 			switch st.Fn {
 			case FnRoot:
 				for _, n := range cur {
@@ -206,15 +207,38 @@ func EvalPaths(ctx []*xdm.Node, paths PathSet) []*xdm.Node {
 			case FnIDRef:
 				next = append(next, idBearingElements(cur, []string{"idref", "idrefs"})...)
 			default:
+				// The evaluator's streaming precondition applies here too:
+				// when the context is ordered and subtree-disjoint and the
+				// axis only descends, per-node segments concatenate already
+				// strictly increasing, so the sort pass can be skipped.
+				// Streamed responses project every chunk independently, which
+				// puts this loop on the per-frame hot path.
+				ordered = downwardAxis(st.Axis) && xdm.OrderedDisjointNodes(cur)
 				for _, n := range cur {
 					next = append(next, eval.AxisNodes(n, st.Axis, st.Test)...)
 				}
+			}
+			if ordered {
+				cur = next
+				continue
 			}
 			cur = xdm.SortDocOrder(next)
 		}
 		out = append(out, cur...)
 	}
 	return xdm.SortDocOrder(out)
+}
+
+// downwardAxis reports whether the axis selects only nodes within the
+// context node's subtree (attributes included): the per-context-node result
+// segments of such a step inherit document order from an ordered-disjoint
+// context.
+func downwardAxis(a xq.Axis) bool {
+	switch a {
+	case xq.AxisChild, xq.AxisAttribute, xq.AxisSelf, xq.AxisDescendant, xq.AxisDescendantOrSelf:
+		return true
+	}
+	return false
 }
 
 func idBearingElements(ctx []*xdm.Node, attrNames []string) []*xdm.Node {

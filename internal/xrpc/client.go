@@ -57,6 +57,11 @@ type Metrics struct {
 	RemoteExecNS  int64 // as reported by the server
 	ServerSerdeNS int64 // server-side (de)serialization, as reported
 	RoundTripWall int64 // wall time of Transport.RoundTrip
+	// PeakBufferedItems is the high-water mark of result items buffered at
+	// once on a server while producing responses — one frame's worth under
+	// incremental streaming, the whole result under gather or eager
+	// streaming. Unlike the counters it combines by maximum, being a peak.
+	PeakBufferedItems int64
 	// Waves records the dispatch structure for overlap-aware network
 	// accounting: each entry is one wave of exchanges that were in flight
 	// together. A sequential call appends a single-lane wave; a scatter
@@ -79,6 +84,9 @@ func (m *Metrics) Add(o *Metrics) {
 	m.RemoteExecNS += o.RemoteExecNS
 	m.ServerSerdeNS += o.ServerSerdeNS
 	m.RoundTripWall += o.RoundTripWall
+	if o.PeakBufferedItems > m.PeakBufferedItems {
+		m.PeakBufferedItems = o.PeakBufferedItems
+	}
 	for _, w := range o.Waves {
 		m.Waves = append(m.Waves, append([]Lane(nil), w...))
 	}
@@ -107,6 +115,7 @@ func (m *Metrics) Reset() {
 	m.RemoteExecNS = 0
 	m.ServerSerdeNS = 0
 	m.RoundTripWall = 0
+	m.PeakBufferedItems = 0
 	m.Waves = nil
 }
 
@@ -122,7 +131,8 @@ func (m *Metrics) Snapshot() Metrics {
 		Requests: m.Requests, BytesSent: m.BytesSent, BytesReceived: m.BytesReceived,
 		SerializeNS: m.SerializeNS, DeserializeNS: m.DeserializeNS,
 		RemoteExecNS: m.RemoteExecNS, ServerSerdeNS: m.ServerSerdeNS,
-		RoundTripWall: m.RoundTripWall, Waves: waves,
+		RoundTripWall: m.RoundTripWall, PeakBufferedItems: m.PeakBufferedItems,
+		Waves: waves,
 	}
 }
 

@@ -24,6 +24,11 @@ type Server struct {
 	// ChunkItems bounds the result items per frame of streamed responses;
 	// zero means DefaultChunkItems.
 	ChunkItems int
+	// EagerStream disables incremental evaluation for streamed responses:
+	// each call is fully materialized before its frames are cut, the
+	// pre-incremental behavior. It exists as the baseline the incremental
+	// figure and the lazy-vs-eager equivalence tests compare against.
+	EagerStream bool
 }
 
 var _ Handler = (*Server)(nil)
@@ -100,6 +105,10 @@ func (s *Server) Handle(request []byte) ([]byte, error) {
 		resp.Results = append(resp.Results, res)
 	}
 	resp.ExecNanos = time.Since(t1).Nanoseconds()
+	buffered := 0
+	for _, res := range resp.Results {
+		buffered += len(res)
+	}
 
 	t2 := time.Now()
 	resultU, resultR := responsePaths(req)
@@ -123,6 +132,8 @@ func (s *Server) Handle(request []byte) ([]byte, error) {
 			BytesSent:     int64(len(data)),
 			RemoteExecNS:  resp.ExecNanos,
 			ServerSerdeNS: resp.SerializeNanos,
+			// Gather-whole holds every call's full result until marshal.
+			PeakBufferedItems: int64(buffered),
 		})
 	}
 	return data, nil

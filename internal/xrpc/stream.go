@@ -170,17 +170,42 @@ func patchSerdeNS(data []byte, old, new int64) []byte {
 		[]byte(fmt.Sprintf(`serde-ns="%d"`, new)), 1)
 }
 
-// chunkWriter emits the ordered chunk frames of one streamed response.
+// chunkWriter emits the ordered chunk frames of one streamed response. It
+// supports two producers: writeCall frames an already-materialized call
+// result (the eager path), and beginCall/addItem/endCall frame a call as its
+// items are pulled from a live iterator — a frame leaves the peer every
+// itemsPer items, mid-evaluation, so the writer never holds more than one
+// frame's worth of a result. peak records the high-water mark of buffered
+// items either way; it is what the bounded-memory guarantee is measured by.
 type chunkWriter struct {
 	sem            Semantics
 	used, returned projection.PathSet
 	opts           projection.Options
 	itemsPer       int
 	emit           func([]byte) error
+	// takeExec, when non-nil, returns (and resets) the evaluation time spent
+	// since the previous frame; incremental frames carry it as their exec-ns
+	// so first-result pricing reflects partial, not whole-call, evaluation.
+	takeExec func() int64
 
 	seq     int
 	calls   int
 	serdeNS int64
+	peak    int
+
+	// per-call incremental state
+	buf       xdm.Sequence
+	call      int
+	firstItem int
+	emitted   bool // current call has at least one frame out
+}
+
+// per returns the effective items-per-frame budget.
+func (w *chunkWriter) per() int {
+	if w.itemsPer > 0 {
+		return w.itemsPer
+	}
+	return DefaultChunkItems
 }
 
 // writeCall splits one call's result into item runs of at most itemsPer and
@@ -188,9 +213,9 @@ type chunkWriter struct {
 // the client can distinguish "empty result" from "missing call". The call's
 // evaluation time is attributed to its first chunk.
 func (w *chunkWriter) writeCall(call int, items xdm.Sequence, execNS int64) error {
-	per := w.itemsPer
-	if per <= 0 {
-		per = DefaultChunkItems
+	per := w.per()
+	if len(items) > w.peak {
+		w.peak = len(items) // the whole call result was materialized
 	}
 	first := 0
 	for {
@@ -218,6 +243,64 @@ func (w *chunkWriter) writeCall(call int, items xdm.Sequence, execNS int64) erro
 	}
 	w.calls = call + 1
 	return nil
+}
+
+// beginCall starts incremental emission of one call's result.
+func (w *chunkWriter) beginCall(call int) {
+	w.call, w.firstItem, w.emitted = call, 0, false
+	w.buf = w.buf[:0]
+}
+
+// addItem buffers one item of the current call, emitting a frame the moment
+// a full chunk has accumulated — while the producing evaluation is still
+// running. Buffering never exceeds one frame.
+func (w *chunkWriter) addItem(it xdm.Item) error {
+	w.buf = append(w.buf, it)
+	if len(w.buf) > w.peak {
+		w.peak = len(w.buf)
+	}
+	if len(w.buf) >= w.per() {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// endCall flushes the remainder of the current call. An empty result still
+// emits one (empty) frame, matching writeCall, so the client can tell
+// "empty call" from "missing call".
+func (w *chunkWriter) endCall() error {
+	if len(w.buf) > 0 || !w.emitted {
+		if err := w.flushChunk(); err != nil {
+			return err
+		}
+	}
+	w.calls = w.call + 1
+	return nil
+}
+
+// flushChunk emits the buffered run as one frame, carrying the evaluation
+// time accumulated since the previous frame.
+func (w *chunkWriter) flushChunk() error {
+	exec := int64(0)
+	if w.takeExec != nil {
+		exec = w.takeExec()
+	}
+	t0 := time.Now()
+	data, err := MarshalResponseChunk(&ResponseChunk{
+		Seq: w.seq, Call: w.call, FirstItem: w.firstItem,
+		Items: w.buf, Semantics: w.sem, ExecNanos: exec,
+	}, w.used, w.returned, w.opts)
+	if err != nil {
+		return err
+	}
+	ser := time.Since(t0).Nanoseconds()
+	w.serdeNS += ser
+	data = patchSerdeNS(data, 0, ser)
+	w.seq++
+	w.firstItem += len(w.buf)
+	w.buf = w.buf[:0]
+	w.emitted = true
+	return w.emit(data)
 }
 
 // close emits the terminal frame; shredNS is the server's request-shred
@@ -255,10 +338,16 @@ func MarshalResponseStream(resp *Response, itemsPerChunk int, resultUsed, result
 	return w.close(resp.SerializeNanos)
 }
 
-// HandleStream implements StreamHandler: like Handle, but each call's
-// results leave the peer as chunk frames as soon as the call has evaluated,
-// instead of after the whole bulk has. Evaluation errors are returned after
-// the frames that precede them; the transport delivers them as fault frames.
+// HandleStream implements StreamHandler: each call's results leave the peer
+// as chunk frames while the call is still evaluating — the server pulls the
+// engine's lazy result sequence and a frame departs every ChunkItems items,
+// so peak result buffering is one frame, not one call, and the first frame's
+// latency is the time to the first ChunkItems items rather than the whole
+// call. Evaluation errors are returned after the frames that precede them
+// (those frames are a valid prefix — laziness never reorders items); the
+// transport delivers them as fault frames, and failover replay suppression
+// resumes past the delivered prefix as with any mid-stream fault.
+// Server.EagerStream restores the evaluate-whole-call-then-frame behavior.
 func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 	arrival := time.Now()
 	req, q, static, shredNS, err := s.prepare(request)
@@ -268,6 +357,7 @@ func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 	deadline := requestDeadline(req, arrival)
 	resultU, resultR := responsePaths(req)
 	var bytesSent int64
+	var execTotal, execSince int64
 	w := &chunkWriter{
 		sem: req.Semantics, used: resultU, returned: resultR,
 		opts: s.ProjOpts, itemsPer: s.ChunkItems,
@@ -275,17 +365,56 @@ func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 			bytesSent += int64(len(frame))
 			return emit(frame)
 		},
+		takeExec: func() int64 {
+			e := execSince
+			execSince = 0
+			return e
+		},
 	}
-	var execTotal int64
 	for ci, params := range req.Calls {
-		t0 := time.Now()
-		res, err := s.Engine.EvalFunctionDeadline(q, req.Method, params, static, deadline)
+		if s.EagerStream {
+			t0 := time.Now()
+			res, err := s.Engine.EvalFunctionDeadline(q, req.Method, params, static, deadline)
+			if err != nil {
+				return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+			}
+			exec := time.Since(t0).Nanoseconds()
+			execTotal += exec
+			if err := w.writeCall(ci, res, exec); err != nil {
+				return err
+			}
+			continue
+		}
+		seq, err := s.Engine.EvalFunctionSeqDeadline(q, req.Method, params, static, deadline)
 		if err != nil {
 			return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
 		}
-		exec := time.Since(t0).Nanoseconds()
-		execTotal += exec
-		if err := w.writeCall(ci, res, exec); err != nil {
+		w.beginCall(ci)
+		// mark brackets the evaluation spans between frames: time inside the
+		// producer counts as exec, time spent marshalling/emitting as serde.
+		var emitErr error
+		mark := time.Now()
+		err = seq(func(it xdm.Item) bool {
+			span := time.Since(mark).Nanoseconds()
+			execSince += span
+			execTotal += span
+			if err := w.addItem(it); err != nil {
+				emitErr = err
+				return false
+			}
+			mark = time.Now()
+			return true
+		})
+		tail := time.Since(mark).Nanoseconds()
+		execSince += tail
+		execTotal += tail
+		if emitErr != nil {
+			return emitErr
+		}
+		if err != nil {
+			return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+		}
+		if err := w.endCall(); err != nil {
 			return err
 		}
 	}
@@ -294,11 +423,12 @@ func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 	}
 	if s.Metrics != nil {
 		s.Metrics.Add(&Metrics{
-			Requests:      1,
-			BytesReceived: int64(len(request)),
-			BytesSent:     bytesSent,
-			RemoteExecNS:  execTotal,
-			ServerSerdeNS: shredNS + w.serdeNS,
+			Requests:          1,
+			BytesReceived:     int64(len(request)),
+			BytesSent:         bytesSent,
+			RemoteExecNS:      execTotal,
+			ServerSerdeNS:     shredNS + w.serdeNS,
+			PeakBufferedItems: int64(w.peak),
 		})
 	}
 	return nil
