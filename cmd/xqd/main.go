@@ -67,6 +67,8 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 20*time.Millisecond,
 		"static hedge trigger until the health tracker has observed enough traffic (0 = off)")
 	spread := flag.Bool("spread", true, "spread initial lane targets across healthy replicas")
+	compile := flag.Bool("compile", false,
+		"compile cached plans into the closure-chain executor (one lowering per plan, shared across queries)")
 	flag.Parse()
 
 	strat, err := parseStrategy(*strategy)
@@ -116,6 +118,7 @@ func main() {
 		MaxQueueWait:  *queueWait,
 		DefaultBudget: core.Budget{Wall: *budget},
 		Streamed:      *streamed,
+		Compile:       *compile,
 	})
 	pol := &xrpc.RetryPolicy{
 		MaxAttempts:    *retries,

@@ -259,22 +259,30 @@ func TestShardRewriteEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatalf("query %d (%d peers) local eval: %v\n%s", qi, w.peers, err, q.src)
 					}
-					sess := w.net.NewSession(w.local, core.ByFragment).UseShards(w.shardMap)
-					shardRes, rep, err := sess.Query(q.src)
-					if err != nil {
-						t.Fatalf("query %d (%d peers) sharded eval: %v\n%s", qi, w.peers, err, q.src)
+					// Tree-walking and compiled execution must both match the
+					// unsharded reference (which always tree-walks, keeping
+					// the oracle independent of the compiler).
+					for _, compiled := range []bool{false, true} {
+						w.net.SetCompile(compiled)
+						sess := w.net.NewSession(w.local, core.ByFragment).
+							UseShards(w.shardMap).UseCompile(compiled)
+						shardRes, rep, err := sess.Query(q.src)
+						if err != nil {
+							t.Fatalf("query %d (%d peers, compiled=%v) sharded eval: %v\n%s", qi, w.peers, compiled, err, q.src)
+						}
+						if got, want := serializeSeq(shardRes), serializeSeq(localRes); got != want {
+							t.Fatalf("query %d (%d peers, compiled=%v) diverged:\n query: %s\n local: %q\n shard: %q\n decisions: %+v",
+								qi, w.peers, compiled, q.src, want, got, rep.Shards)
+						}
+						if len(rep.Shards) == 0 {
+							t.Fatalf("query %d (%d peers): no shard decision recorded\n%s", qi, w.peers, q.src)
+						}
+						if rep.Shards[0].Scattered != q.topScatter {
+							t.Fatalf("query %d (%d peers): top decision scattered=%v (reason %q), want %v\n%s",
+								qi, w.peers, rep.Shards[0].Scattered, rep.Shards[0].Reason, q.topScatter, q.src)
+						}
 					}
-					if got, want := serializeSeq(shardRes), serializeSeq(localRes); got != want {
-						t.Fatalf("query %d (%d peers) diverged:\n query: %s\n local: %q\n shard: %q\n decisions: %+v",
-							qi, w.peers, q.src, want, got, rep.Shards)
-					}
-					if len(rep.Shards) == 0 {
-						t.Fatalf("query %d (%d peers): no shard decision recorded\n%s", qi, w.peers, q.src)
-					}
-					if rep.Shards[0].Scattered != q.topScatter {
-						t.Fatalf("query %d (%d peers): top decision scattered=%v (reason %q), want %v\n%s",
-							qi, w.peers, rep.Shards[0].Scattered, rep.Shards[0].Reason, q.topScatter, q.src)
-					}
+					w.net.SetCompile(false)
 				}
 			}
 			if scattered < 100 || fellBack < 50 {
@@ -296,18 +304,22 @@ func TestShardRewriteEquivalenceAcrossStrategies(t *testing.T) {
 	}
 	want := serializeSeq(localRes)
 	for _, strat := range []core.Strategy{core.DataShipping, core.ByValue, core.ByFragment, core.ByProjection} {
-		sess := w.net.NewSession(w.local, strat).UseShards(w.shardMap)
-		res, rep, err := sess.Query(xmark.LogicalScatterQuery())
-		if err != nil {
-			t.Fatalf("%s: %v", strat, err)
-		}
-		if got := serializeSeq(res); got != want {
-			t.Fatalf("%s diverged:\n local: %q\n shard: %q", strat, want, got)
-		}
-		if strat != core.DataShipping {
-			if len(rep.Shards) == 0 || !rep.Shards[0].Scattered {
-				t.Fatalf("%s: expected a scattered plan, got %+v", strat, rep.Shards)
+		for _, compiled := range []bool{false, true} {
+			w.net.SetCompile(compiled)
+			sess := w.net.NewSession(w.local, strat).UseShards(w.shardMap).UseCompile(compiled)
+			res, rep, err := sess.Query(xmark.LogicalScatterQuery())
+			if err != nil {
+				t.Fatalf("%s (compiled=%v): %v", strat, compiled, err)
+			}
+			if got := serializeSeq(res); got != want {
+				t.Fatalf("%s (compiled=%v) diverged:\n local: %q\n shard: %q", strat, compiled, want, got)
+			}
+			if strat != core.DataShipping {
+				if len(rep.Shards) == 0 || !rep.Shards[0].Scattered {
+					t.Fatalf("%s: expected a scattered plan, got %+v", strat, rep.Shards)
+				}
 			}
 		}
+		w.net.SetCompile(false)
 	}
 }

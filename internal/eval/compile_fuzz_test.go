@@ -1,0 +1,222 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// fuzzFixtureXML is one document covering the vocabulary of every seed:
+// XMark-ish people, auctions, a book list with prices, and the l1/l2 axis
+// playground — so mutated queries keep hitting real nodes instead of
+// evaluating over empty sequences.
+const fuzzFixtureXML = `<site>
+ <people>
+  <person id="p1"><name>Tang</name><emailaddress>t@x</emailaddress><profile income="45000"><age>34</age></profile><address><city>Amsterdam</city></address></person>
+  <person id="p2"><name>Bo</name><emailaddress>b@x</emailaddress><profile income="21000"><age>46</age></profile><address><city>Delft</city></address></person>
+  <person id="p3"><name>Ana</name><profile income="99000"><age>25</age></profile><address><city>Utrecht</city></address></person>
+  <person id="p4"><name>Ivo</name><profile income="30500"><age>51</age></profile><address><city>Leiden</city></address></person>
+  <person id="p5"><name>Eva</name><profile income="60000"><age>39</age></profile><address><city>Delft</city></address></person>
+ </people>
+ <open_auctions>
+  <open_auction><seller person="p1"/><annotation><author>Tang</author></annotation></open_auction>
+  <open_auction><seller person="p9"/><annotation><author>Zed</author></annotation></open_auction>
+ </open_auctions>
+ <books>
+  <book id="b1"><title>Query Processing</title><price>49</price><author>Tang</author></book>
+  <book id="b2"><title>XML</title><price>28</price><author>Bo</author></book>
+  <book id="b3"><title>Streams</title><price>31</price><author>Ana</author></book>
+ </books>
+ <l1><l2 k="y"><l3/></l2><l2 k="n"/><l2 k="y"/></l1>
+</site>`
+
+// anyDocResolver serves the shared fixture for every URI, so mutated
+// document names still resolve and both engines observe identical node
+// identities.
+type anyDocResolver struct{ doc *xdm.Document }
+
+func (r anyDocResolver) ResolveDoc(string) (*xdm.Document, error) { return r.doc, nil }
+
+func fuzzFixture(tb testing.TB) *xdm.Document {
+	tb.Helper()
+	d, err := xdm.ParseString(fuzzFixtureXML, "fuzz://fixture")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// compiledFuzzSeeds replicates the FuzzParseQuery corpus (every construct of
+// the dialect), adds shard-equivalence generator shapes, and pins the
+// compiled-specific corners: hoisting heuristics, predicate fusion,
+// constant folding, deferred constant faults, duplicate declarations.
+var compiledFuzzSeeds = []string{
+	// FuzzParseQuery corpus (internal/xq).
+	`(let $t := (let $s := doc("xrpc://peer1/xmk.xml")/child::site/child::people/child::person
+	            return for $x in $s return
+	                   if ($x/descendant::age < 40) then $x else ())
+	 return for $e in (let $c := doc("xrpc://peer2/xmk.auctions.xml")
+	                   return $c/descendant::open_auction)
+	        return if ($e/child::seller/attribute::person = $t/attribute::id)
+	               then $e/child::annotation else ())/child::author`,
+	`let $s := doc("xrpc://peer1/xmk.xml")/child::site/child::people/child::person
+	 return for $x in $s return
+	       if ($x/descendant::age > 45) then $x else ()`,
+	`declare function young() as item()* {
+	  for $x in doc("xmk.xml")/child::site/child::people/child::person
+	  return if ($x/descendant::age < 40) then $x/child::name else ()
+	};
+	for $p in ("peer1", "peer2") return execute at {$p} { young() }`,
+	`for $x in doc("shard://xmark/people")/child::site/child::people/child::person
+	 return if ($x/descendant::age < 40) then $x/child::name else ()`,
+	`doc("a.xml")//book[price > 28][2]/title/text()`,
+	`(doc("a.xml")//book)[last()]/@id`,
+	`doc("a.xml")//l2[@k = "y"]/preceding-sibling::l2/ancestor-or-self::node()`,
+	`for $b in doc("a.xml")//book order by number($b/price) descending, $b/title return $b`,
+	`some $a in doc("a.xml")//author satisfies $a = "Tang"`,
+	`every $a in doc("a.xml")//author satisfies string-length($a) > 2`,
+	`typeswitch (doc("a.xml")//book[1]) case $n as element() return name($n)
+	 case $t as text() return "txt" default $d return count($d)`,
+	`element report { attribute n {count(doc("a.xml")//book)}, text {"x"}, doc("a.xml")//book/title }`,
+	`<a b="1" c="{2}"><b/>text</a>`,
+	`document { element x { 1 + 2 * 3 idiv 4 mod 5 - -6 } }`,
+	`(1, 2.5, "three", true(), $v) union doc("a.xml")//a intersect doc("a.xml")//b except doc("a.xml")//c`,
+	`$x is $y or $x << $y and $x >> $y`,
+	`if (1 = 2 or 3 != 4 and 5 <= 6) then 7 else 8`,
+	`let $f := 1 return (: comment (: nested :) here :) $f`,
+	`"unterminated`,
+	`'single''quoted'`,
+	`execute at {"p"} { f(1, (), ("a", "b")) }`,
+	``,
+	`$`,
+	`/`,
+	`//`,
+	`..`,
+	`.`,
+	`()`,
+	// Shard-equivalence generator shapes (internal/core harness).
+	`doc("shard://xmark/people")/child::site/child::people/child::person[child::profile/child::age > 30]/child::name`,
+	`count(doc("shard://xmark/people")/child::site/child::people/child::person[descendant::age < 40])`,
+	`for $x in doc("shard://xmark/people")/child::site/child::people/child::person[child::address/child::city = "Delft"]
+	 return element rec { $x/child::name, $x/descendant::age }`,
+	`let $k := 30 return for $x in doc("shard://xmark/people")/child::site/child::people/child::person[descendant::age > $k]
+	 return if ($x/descendant::age < $k + 9) then $x/child::name else ()`,
+	`doc("shard://xmark/people")/child::site/child::people/child::person[position() = 2]/child::name`,
+	`doc("shard://xmark/people")/child::site/child::people/child::person[last()]`,
+	`declare function pick($y as item()*) as item()* { if ($y/descendant::age < 40) then $y/child::name else () };
+	 for $x in doc("shard://xmark/people")/child::site/child::people/child::person return pick($x)`,
+	`for $x in doc("a.xml")//person[child::profile/attribute::income > 30000]
+	 return $x/parent::people/child::person[descendant::age < 40]/child::name`,
+	// Hoisting corners: >4-iteration loops with invariant compare operands,
+	// including a faulting hoisted binding inside a never-taken branch.
+	`for $x in (1, 2, 3, 4, 5, 6) return if ($x > 10) then ($x = doc("a.xml")//book/price) else $x`,
+	`for $x in (1, 2, 3, 4) return if ($x > 10) then ($x = doc("a.xml")//book/price) else $x`,
+	`for $x in (1, 2, 3, 4, 5) return if (false()) then (unknownfn() = 1) else $x`,
+	`for $p in doc("a.xml")//person return for $q in (1, 2, 3, 4, 5)
+	 return if ($q = count(doc("a.xml")//book)) then $p/child::name else ()`,
+	// Compiled-specific corners: constant folding with deferred faults,
+	// predicate fusion, duplicate declarations, focus builtins, typeswitch
+	// defaults, unary over folded constants, nested function calls.
+	`if (true()) then 1 else (1 div 0)`,
+	`if (false()) then (1 idiv 0) else 2`,
+	`1 idiv 0`,
+	`-("a")`,
+	`doc("a.xml")//book[price > 28 and @id != "b9"][position() = 1]/title`,
+	`doc("a.xml")//person[not(child::emailaddress)]/child::name`,
+	`declare function f($a as xs:integer) as xs:integer { $a + 1 };
+	 declare function f($a as xs:integer) as xs:integer { $a * 2 };
+	 f(10)`,
+	`declare function rec($n as xs:integer) as xs:integer { if ($n <= 0) then 0 else rec($n - 1) }; rec(12)`,
+	`doc("a.xml")//book[root()//l2[@k = "y"]]/title`,
+	`typeswitch (1 + 1) case $i as xs:integer return $i default return "no"`,
+	`let $d := doc("a.xml") return ($d//l2[1], $d//l2[@k = "y"][2], $d//l3/ancestor::l1)`,
+	`string-join(for $b in doc("a.xml")//book return $b/title/text(), "|")`,
+}
+
+// FuzzCompiledVsTreeWalk is the differential fuzzer of the compiler: every
+// parsed query must evaluate byte-identically (or fault with the identical
+// error) with Options.Compile on and off, through both the eager and the
+// lazy entry points. Deadline aborts are the single tolerated asymmetry —
+// they depend on wall-clock timing, which the two modes legitimately reach
+// at different node counts.
+func FuzzCompiledVsTreeWalk(f *testing.F) {
+	for _, seed := range compiledFuzzSeeds {
+		f.Add(seed)
+	}
+	doc := fuzzFixture(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		q1, err := xq.ParseQuery(src)
+		if err != nil {
+			return
+		}
+		q2, err := xq.ParseQuery(src)
+		if err != nil {
+			return
+		}
+		// A deadline bounds runaway loops and unbounded recursion; it is
+		// generous enough that ordinary inputs never see it.
+		deadline := time.Now().Add(25 * time.Millisecond)
+		tw := NewEngine(anyDocResolver{doc})
+		tw.Deadline = deadline
+		cc := NewEngine(anyDocResolver{doc})
+		cc.Deadline = deadline
+		cc.Options.Compile = true
+
+		// Probe normalization on a scratch parse: Normalize mutates (and
+		// validates) once, so probing q1/q2 directly would eat the error the
+		// engines are supposed to report.
+		q0, err := xq.ParseQuery(src)
+		if err != nil {
+			return
+		}
+		normErr := xq.Normalize(q0)
+
+		twRes, twErr := tw.Query(q1)
+		ccRes, ccErr := cc.Query(q2)
+		if errors.Is(twErr, ErrDeadlineExceeded) || errors.Is(ccErr, ErrDeadlineExceeded) {
+			return
+		}
+		compareModes(t, "lazy", src, twRes, twErr, ccRes, ccErr)
+		if normErr != nil {
+			// Normalization rejected the query in both modes identically;
+			// there is nothing to compile.
+			return
+		}
+
+		// The eager halves: the tree-walker's eval against the compiled
+		// Program's eager body (the path function calls take).
+		twCtx := tw.newContext(q1.Funcs)
+		twRes, twErr = twCtx.eval(q1.Body)
+		p, err := CompileQuery(q2)
+		if err != nil {
+			t.Fatalf("CompileQuery: %v\ninput: %q", err, src)
+		}
+		ccRes, ccErr = p.run(cc.newContext(q2.Funcs))
+		if errors.Is(twErr, ErrDeadlineExceeded) || errors.Is(ccErr, ErrDeadlineExceeded) {
+			return
+		}
+		compareModes(t, "eager", src, twRes, twErr, ccRes, ccErr)
+	})
+}
+
+func compareModes(t *testing.T, mode, src string, twRes xdm.Sequence, twErr error, ccRes xdm.Sequence, ccErr error) {
+	t.Helper()
+	if (twErr == nil) != (ccErr == nil) {
+		t.Fatalf("%s error divergence:\ninput: %q\ntree-walk err: %v\ncompiled err:  %v", mode, src, twErr, ccErr)
+	}
+	if twErr != nil {
+		if twErr.Error() != ccErr.Error() {
+			t.Fatalf("%s error text divergence:\ninput: %q\ntree-walk: %q\ncompiled:  %q", mode, src, twErr, ccErr)
+		}
+		return
+	}
+	if got, want := serialize(ccRes), serialize(twRes); got != want {
+		t.Fatalf("%s result divergence:\ninput: %q\ntree-walk: %q\ncompiled:  %q", mode, src, want, got)
+	}
+}

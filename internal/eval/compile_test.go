@@ -1,0 +1,250 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"distxq/internal/xdm"
+	"distxq/internal/xq"
+)
+
+// expectCompiled evaluates src in both modes over docs and requires
+// byte-identical serialized results (or identical faults) — the deterministic
+// core of the differential fuzzer, used for pinned regressions.
+func expectCompiled(t *testing.T, docs mapResolver, src string) {
+	t.Helper()
+	q1, err := xq.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	q2, err := xq.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := NewEngine(docs)
+	cc := NewEngine(docs)
+	cc.Options.Compile = true
+	q0, err := xq.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normErr := xq.Normalize(q0)
+	twRes, twErr := tw.Query(q1)
+	ccRes, ccErr := cc.Query(q2)
+	compareModes(t, "lazy", src, twRes, twErr, ccRes, ccErr)
+	if normErr != nil {
+		return
+	}
+	twRes, twErr = tw.newContext(q1.Funcs).eval(q1.Body)
+	p, err := CompileQuery(q2)
+	if err != nil {
+		t.Fatalf("CompileQuery: %v\n%s", err, src)
+	}
+	ccRes, ccErr = p.run(cc.newContext(q2.Funcs))
+	compareModes(t, "eager", src, twRes, twErr, ccRes, ccErr)
+}
+
+// TestCompiledEquivalenceRegressions pins compiled-vs-tree-walk equivalence
+// over every lowering rule and every input the differential fuzzer ever
+// flagged. Queries run over the fuzz fixture through both the lazy and the
+// eager entry points.
+func TestCompiledEquivalenceRegressions(t *testing.T) {
+	docs := mapResolver{"f.xml": fuzzFixtureXML}
+	queries := []string{
+		// Slot resolution, shadowing, let/for nesting.
+		`let $a := 1 return let $a := $a + 1 return let $b := $a * 10 return ($a, $b)`,
+		`for $x in (1, 2, 3) return for $x in ($x, $x * 10) return $x`,
+		`let $s := doc("f.xml")//person return for $x in $s return $x/child::name`,
+		// Constant folding, including deferred faults in dead branches.
+		`1 + 2 * 3 idiv 4 mod 5 - -6`,
+		`if (false()) then (1 idiv 0) else "live"`,
+		`if (true()) then "live" else (1 div 0)`,
+		`("a", "b") = "b"`,
+		// Comparison specialization by static operand kind.
+		`doc("f.xml")//book[price > 28]/title`,
+		`doc("f.xml")//book["Tang" = author]/@id`,
+		`doc("f.xml")//person[child::profile/attribute::income > 30000]/child::name`,
+		// Predicate fusion: boolean, positional, mixed, numeric-literal.
+		`doc("f.xml")//book[2]/title/text()`,
+		`doc("f.xml")//book[price > 28][2]/title`,
+		`doc("f.xml")//book[position() = 2]`,
+		`(doc("f.xml")//book)[last()]/@id`,
+		`doc("f.xml")//person[not(child::emailaddress)]/child::name`,
+		`doc("f.xml")//l2[@k = "y"][child::l3]`,
+		// Streaming shapes: descendant scans, filters over mixed axes.
+		`doc("f.xml")/site/people/person/profile/age`,
+		`doc("f.xml")//age`,
+		`doc("f.xml")//l2[@k = "y"]/preceding-sibling::l2/ancestor-or-self::node()`,
+		// FLWOR pipelines, hoisting at the >4 threshold and below it.
+		`for $x in (1, 2, 3, 4, 5, 6) return if ($x > 10) then ($x = doc("f.xml")//book/price) else $x`,
+		`for $x in (1, 2, 3, 4) return if ($x > 10) then ($x = doc("f.xml")//book/price) else $x`,
+		`for $x in (1, 2, 3, 4, 5) return if (false()) then (unknownfn() = 1) else $x`,
+		`for $b in doc("f.xml")//book order by number($b/price) descending return $b/title`,
+		// Quantifiers, typeswitch, logic.
+		`some $a in doc("f.xml")//author satisfies $a = "Tang"`,
+		`every $a in doc("f.xml")//author satisfies string-length($a) > 2`,
+		`typeswitch (doc("f.xml")//book[1]) case $n as element() return name($n) default $d return count($d)`,
+		`typeswitch (1 + 1) case $i as xs:integer return $i default return "no"`,
+		`if (1 = 2 or 3 != 4 and 5 <= 6) then 7 else 8`,
+		// Declared functions: recursion, duplicate params, typed results.
+		`declare function rec($n as xs:integer) as xs:integer { if ($n <= 0) then 0 else rec($n - 1) }; rec(12)`,
+		`declare function pick($y as item()*) as item()* { if ($y/descendant::age < 40) then $y/child::name else () };
+		 for $x in doc("f.xml")//person return pick($x)`,
+		`declare function one($a as xs:integer) as xs:integer { $a }; one("x")`,
+		// Focus builtins inside predicates and paths.
+		`doc("f.xml")//book[root()//l2[@k = "y"]]/title`,
+		`position()`,
+		`last()`,
+		// Node-set operators, node comparisons, constructors (fallback).
+		`count(doc("f.xml")//author union doc("f.xml")//title)`,
+		`doc("f.xml")//l2[1] is doc("f.xml")//l2[@k = "y"][1]`,
+		`element report { attribute n {count(doc("f.xml")//book)}, doc("f.xml")//book/title }`,
+		// Faults that must match byte for byte.
+		`$nope`,
+		`1 idiv 0`,
+		`-("a")`,
+		`unknownfn(1, 2)`,
+		`concat("one")`,
+		`execute at {"p"} { young() }`,
+		`doc("missing://really")/x`,
+	}
+	for _, src := range queries {
+		expectCompiled(t, docs, src)
+	}
+}
+
+// TestCompiledDeadlineAbortsMidStream is the compiled twin of
+// TestLazyDeadlineAbortsMidStream: compiled scans hit the shared stopCheck
+// at the same ≤64-node granularity, so an expired deadline cuts a streamed
+// compiled walk with the typed sentinel and a counted abort.
+func TestCompiledDeadlineAbortsMidStream(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 200000; i++ {
+		fmt.Fprintf(&sb, "<x>%d</x>", i)
+	}
+	sb.WriteString("</r>")
+	e := NewEngine(mapResolver{"big.xml": sb.String()})
+	e.Options.Compile = true
+	q, err := xq.ParseQuery(`doc("big.xml")/r/x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Deadline = time.Now()
+	s, err := e.QuerySeq(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = s(func(xdm.Item) bool {
+		n++
+		return true
+	})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded after %d items, got %v", n, err)
+	}
+	if e.StatsSnapshot().DeadlineAborts == 0 {
+		t.Fatal("deadline abort not counted in Stats")
+	}
+}
+
+// TestCompiledDeadlineInsideLoop: a compiled FLWOR pipeline (not just the
+// axis scans) consults the budget, so a loop over an already-materialized
+// sequence still aborts.
+func TestCompiledDeadlineInsideLoop(t *testing.T) {
+	e := NewEngine(mapResolver{})
+	e.Options.Compile = true
+	q, err := xq.ParseQuery(`declare function local:burn($n as xs:integer) as xs:integer
+		{ if ($n <= 0) then 0 else local:burn($n - 1) };
+		for $i in (1, 2, 3, 4, 5, 6, 7, 8) return local:burn(2000000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Deadline = time.Now().Add(2 * time.Millisecond)
+	_, err = e.Query(q)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if e.StatsSnapshot().DeadlineAborts == 0 {
+		t.Fatal("deadline abort not counted in Stats")
+	}
+}
+
+// TestCompiledFunctionEntryPoints: the server-side function entry points
+// honour Options.Compile and agree with the tree-walker, including the
+// undeclared-function fault.
+func TestCompiledFunctionEntryPoints(t *testing.T) {
+	src := `declare function local:f($d as item()*) as item()* { for $x in $d//person return $x/child::name }; 1`
+	docs := mapResolver{"f.xml": fuzzFixtureXML}
+	arg := func(e *Engine) xdm.Sequence {
+		d, err := e.Doc("f.xml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return xdm.Singleton(d.Root)
+	}
+	tw := NewEngine(docs)
+	cc := NewEngine(docs)
+	cc.Options.Compile = true
+	q1, _ := xq.ParseQuery(src)
+	q2, _ := xq.ParseQuery(src)
+	twRes, twErr := tw.EvalFunction(q1, "local:f", []xdm.Sequence{arg(tw)})
+	ccRes, ccErr := cc.EvalFunction(q2, "local:f", []xdm.Sequence{arg(cc)})
+	compareModes(t, "function", src, twRes, twErr, ccRes, ccErr)
+	if serialize(ccRes) == "" {
+		t.Fatal("function returned nothing; fixture mismatch")
+	}
+	// Lazy entry point.
+	s, err := cc.EvalFunctionSeqDeadline(q2, "local:f", []xdm.Sequence{arg(cc)}, nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lazyRes xdm.Sequence
+	if err := s(func(it xdm.Item) bool { lazyRes = append(lazyRes, it); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if serialize(lazyRes) != serialize(twRes) {
+		t.Fatalf("lazy function diverged: %q vs %q", serialize(lazyRes), serialize(twRes))
+	}
+	// Undeclared-function fault text must match the tree-walker's.
+	_, twErr = tw.EvalFunction(q1, "local:g", nil)
+	_, ccErr = cc.EvalFunction(q2, "local:g", nil)
+	if twErr == nil || ccErr == nil || twErr.Error() != ccErr.Error() {
+		t.Fatalf("undeclared fault diverged: %v vs %v", twErr, ccErr)
+	}
+}
+
+// TestCompiledArtifactShared: compilation happens once per query object; a
+// second engine executing the same query reuses the cached Program instead
+// of recompiling.
+func TestCompiledArtifactShared(t *testing.T) {
+	q, err := xq.ParseQuery(`for $i in (1, 2, 3) return $i * $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := NewEngine(mapResolver{})
+	e1.Options.Compile = true
+	if _, err := e1.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := e1.StatsSnapshot().Compilations; got != 1 {
+		t.Fatalf("first engine: %d compilations, want 1", got)
+	}
+	if _, err := e1.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := e1.StatsSnapshot().Compilations; got != 1 {
+		t.Fatalf("re-execution recompiled: %d compilations", got)
+	}
+	e2 := NewEngine(mapResolver{})
+	e2.Options.Compile = true
+	if _, err := e2.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.StatsSnapshot().Compilations; got != 0 {
+		t.Fatalf("second engine recompiled a cached artifact: %d compilations", got)
+	}
+}

@@ -136,6 +136,9 @@ type Engine struct {
 	Resolver Resolver
 	Remote   RemoteCaller
 	Static   StaticContext
+	// Options selects evaluation-strategy knobs; the zero value is the plain
+	// tree-walker.
+	Options Options
 	// Replicas maps a scatter target peer to its ordered failover replicas:
 	// peers holding an equivalent copy of the target's data (same documents
 	// under the same paths), so a fault-tolerant RemoteCaller can re-route a
@@ -175,6 +178,10 @@ type Stats struct {
 	// originator's budget expired (the observable half of deadline
 	// propagation).
 	DeadlineAborts int
+	// Compilations counts queries this engine lowered to closure chains (a
+	// cached Program on the query does not count: compilation happened on
+	// another engine or an earlier call).
+	Compilations int
 }
 
 // docEntry is one single-flight slot of the document cache: concurrent
@@ -323,6 +330,13 @@ func (e *Engine) EvalFunctionDeadline(q *xq.Query, name string, args []xdm.Seque
 	if !deadline.IsZero() {
 		ctx.stop = &stopCheck{eng: e, deadline: deadline}
 	}
+	if e.Options.Compile {
+		p, err := e.program(q)
+		if err != nil {
+			return nil, err
+		}
+		return p.callFunction(ctx, name, args)
+	}
 	for _, f := range q.Funcs {
 		if f.Name == name && len(f.Params) == len(args) {
 			return ctx.callDeclared(f, args)
@@ -349,12 +363,37 @@ func (e *Engine) EvalFunctionSeqDeadline(q *xq.Query, name string, args []xdm.Se
 	if !deadline.IsZero() {
 		ctx.stop = &stopCheck{eng: e, deadline: deadline}
 	}
+	if e.Options.Compile {
+		p, err := e.program(q)
+		if err != nil {
+			return nil, err
+		}
+		return p.callFunctionSeq(ctx, name, args)
+	}
 	for _, f := range q.Funcs {
 		if f.Name == name && len(f.Params) == len(args) {
 			return ctx.callDeclaredSeq(f, args)
 		}
 	}
 	return nil, fmt.Errorf("eval: function %s#%d not declared", name, len(args))
+}
+
+// program returns the query's compiled Program, compiling (and caching the
+// artifact on the query) on first use. The Program is engine-independent —
+// all engine state flows in through the execution context — so engines
+// sharing a query share one compilation.
+func (e *Engine) program(q *xq.Query) (*Program, error) {
+	if p, ok := q.CompiledArtifact().(*Program); ok {
+		return p, nil
+	}
+	p, err := CompileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.Stats.Compilations++
+	e.mu.Unlock()
+	return p, nil
 }
 
 func (e *Engine) newContext(funcs []*xq.FuncDecl) *context {

@@ -566,12 +566,16 @@ func (c *context) evalCompare(v *xq.CompareExpr) (xdm.Sequence, error) {
 	if v.Op.IsNodeComp() {
 		return nodeCompare(v.Op, l, r)
 	}
-	// General comparison: existential over atomized operands. Equality over
-	// larger sequences uses a hash set instead of the quadratic pair scan —
-	// the distributed semijoin queries of §VII compare hundreds of ids.
-	la, ra := l.Atomize(), r.Atomize()
-	if v.Op == xq.OpEq && len(la) > 4 && len(ra) > 4 {
-		return xdm.Singleton(xdm.NewBoolean(hashedExistsEq(la, ra))), nil
+	return xdm.Singleton(xdm.NewBoolean(generalCompareAtoms(v.Op, l.Atomize(), r.Atomize()))), nil
+}
+
+// generalCompareAtoms decides the existential general comparison over
+// atomized operands. Equality over larger sequences uses a hash set instead
+// of the quadratic pair scan — the distributed semijoin queries of §VII
+// compare hundreds of ids. Shared by the tree-walker and the compiled path.
+func generalCompareAtoms(op xq.CompOp, la, ra []xdm.Atomic) bool {
+	if op == xq.OpEq && len(la) > 4 && len(ra) > 4 {
+		return hashedExistsEq(la, ra)
 	}
 	for _, a := range la {
 		for _, b := range ra {
@@ -579,12 +583,12 @@ func (c *context) evalCompare(v *xq.CompareExpr) (xdm.Sequence, error) {
 			if !ok {
 				continue // incomparable pair contributes false
 			}
-			if compareSatisfies(v.Op, cmp) {
-				return xdm.Singleton(xdm.NewBoolean(true)), nil
+			if compareSatisfies(op, cmp) {
+				return true
 			}
 		}
 	}
-	return xdm.Singleton(xdm.NewBoolean(false)), nil
+	return false
 }
 
 // hashedExistsEq decides ∃a∈la, b∈ra: a eq b using hash sets, preserving the
@@ -689,7 +693,13 @@ func (c *context) evalArith(v *xq.ArithExpr) (xdm.Sequence, error) {
 	if err != nil {
 		return nil, err
 	}
-	la, ra := l.Atomize(), r.Atomize()
+	return arithCombine(v.Op, l.Atomize(), r.Atomize())
+}
+
+// arithCombine applies one arithmetic operator to atomized operands — the
+// scalar kernel shared by the tree-walker and the compiled path, including
+// the integer fast path and the exact zero-division faults.
+func arithCombine(op xq.ArithOp, la, ra []xdm.Atomic) (xdm.Sequence, error) {
 	if len(la) == 0 || len(ra) == 0 {
 		return xdm.EmptySequence, nil
 	}
@@ -698,11 +708,11 @@ func (c *context) evalArith(v *xq.ArithExpr) (xdm.Sequence, error) {
 	}
 	a, b := la[0], ra[0]
 	bothInt := a.T == xdm.TInteger && b.T == xdm.TInteger
-	switch v.Op {
+	switch op {
 	case xq.OpAdd, xq.OpSub, xq.OpMul, xq.OpMod:
 		if bothInt {
 			var res int64
-			switch v.Op {
+			switch op {
 			case xq.OpAdd:
 				res = a.I + b.I
 			case xq.OpSub:
@@ -719,7 +729,7 @@ func (c *context) evalArith(v *xq.ArithExpr) (xdm.Sequence, error) {
 		}
 		x, y := a.Number(), b.Number()
 		var res float64
-		switch v.Op {
+		switch op {
 		case xq.OpAdd:
 			res = x + y
 		case xq.OpSub:
@@ -755,20 +765,26 @@ func (c *context) evalNodeSet(v *xq.NodeSetExpr) (xdm.Sequence, error) {
 	if err != nil {
 		return nil, err
 	}
+	return nodeSetCombine(v.Op, l, r)
+}
+
+// nodeSetCombine applies one node-set operator to evaluated operands — the
+// kernel shared by the tree-walker and the compiled path.
+func nodeSetCombine(op xq.SetOp, l, r xdm.Sequence) (xdm.Sequence, error) {
 	ln, ok := l.Nodes()
 	if !ok {
-		return nil, fmt.Errorf("eval: %s over non-node operand", v.Op)
+		return nil, fmt.Errorf("eval: %s over non-node operand", op)
 	}
 	rn, ok := r.Nodes()
 	if !ok {
-		return nil, fmt.Errorf("eval: %s over non-node operand", v.Op)
+		return nil, fmt.Errorf("eval: %s over non-node operand", op)
 	}
 	inRight := map[*xdm.Node]bool{}
 	for _, n := range rn {
 		inRight[n] = true
 	}
 	var out []*xdm.Node
-	switch v.Op {
+	switch op {
 	case xq.OpUnion:
 		out = append(append(out, ln...), rn...)
 	case xq.OpIntersect:

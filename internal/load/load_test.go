@@ -295,35 +295,39 @@ func TestOverloadFastRejectHTTP(t *testing.T) {
 // replica spreading enabled, killing any single primary must leave the
 // query's serialized result byte-identical to the healthy run.
 func TestKillAnyPeerEquivalenceWithAdaptiveHedging(t *testing.T) {
-	f := newFederation(t, 3)
-	svc := service.New(f.net, f.origin, core.ByFragment, service.Config{
-		MaxConcurrent: 4,
-		DefaultBudget: core.Budget{Wall: 5 * time.Second},
-	})
-	svc.UseRetry(&xrpc.RetryPolicy{SpreadReplicas: true, HedgeAfter: 10 * time.Millisecond})
-	svc.Replicas = f.replicas
+	for _, compiled := range []bool{false, true} {
+		f := newFederation(t, 3)
+		f.net.SetCompile(compiled)
+		svc := service.New(f.net, f.origin, core.ByFragment, service.Config{
+			MaxConcurrent: 4,
+			DefaultBudget: core.Budget{Wall: 5 * time.Second},
+			Compile:       compiled,
+		})
+		svc.UseRetry(&xrpc.RetryPolicy{SpreadReplicas: true, HedgeAfter: 10 * time.Millisecond})
+		svc.Replicas = f.replicas
 
-	healthy, _, err := svc.Query(f.query, core.Budget{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := serialize(healthy)
-	// Warm the health tracker so hedging runs adaptively, then kill each
-	// primary in turn.
-	for i := 0; i < 10; i++ {
-		if _, _, err := svc.Query(f.query, core.Budget{}); err != nil {
+		healthy, _, err := svc.Query(f.query, core.Budget{})
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	for _, victim := range f.primaries {
-		f.net.KillPeer(victim)
-		got, _, err := svc.Query(f.query, core.Budget{})
-		f.net.RevivePeer(victim)
-		if err != nil {
-			t.Fatalf("kill %s: %v", victim, err)
+		want := serialize(healthy)
+		// Warm the health tracker so hedging runs adaptively, then kill each
+		// primary in turn.
+		for i := 0; i < 10; i++ {
+			if _, _, err := svc.Query(f.query, core.Budget{}); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if g := serialize(got); g != want {
-			t.Errorf("kill %s: result diverged\n got %q\nwant %q", victim, g, want)
+		for _, victim := range f.primaries {
+			f.net.KillPeer(victim)
+			got, _, err := svc.Query(f.query, core.Budget{})
+			f.net.RevivePeer(victim)
+			if err != nil {
+				t.Fatalf("compiled=%v kill %s: %v", compiled, victim, err)
+			}
+			if g := serialize(got); g != want {
+				t.Errorf("compiled=%v kill %s: result diverged\n got %q\nwant %q", compiled, victim, g, want)
+			}
 		}
 	}
 }
@@ -332,28 +336,32 @@ func TestKillAnyPeerEquivalenceWithAdaptiveHedging(t *testing.T) {
 // change latency, never results — the hedge (or spread) answers through
 // the replica with identical bytes.
 func TestSlowPeerEquivalenceWithAdaptiveHedging(t *testing.T) {
-	f := newFederation(t, 3)
-	svc := service.New(f.net, f.origin, core.ByFragment, service.Config{
-		MaxConcurrent: 4,
-		DefaultBudget: core.Budget{Wall: 5 * time.Second},
-	})
-	svc.UseRetry(&xrpc.RetryPolicy{SpreadReplicas: true, HedgeAfter: 5 * time.Millisecond})
-	svc.Replicas = f.replicas
+	for _, compiled := range []bool{false, true} {
+		f := newFederation(t, 3)
+		f.net.SetCompile(compiled)
+		svc := service.New(f.net, f.origin, core.ByFragment, service.Config{
+			MaxConcurrent: 4,
+			DefaultBudget: core.Budget{Wall: 5 * time.Second},
+			Compile:       compiled,
+		})
+		svc.UseRetry(&xrpc.RetryPolicy{SpreadReplicas: true, HedgeAfter: 5 * time.Millisecond})
+		svc.Replicas = f.replicas
 
-	healthy, _, err := svc.Query(f.query, core.Budget{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := serialize(healthy)
-	restore := SlowPeer(f.net, f.primaries[0], 50*time.Millisecond)
-	defer restore()
-	for i := 0; i < 5; i++ {
-		got, _, err := svc.Query(f.query, core.Budget{})
+		healthy, _, err := svc.Query(f.query, core.Budget{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if g := serialize(got); g != want {
-			t.Fatalf("slow peer run %d diverged\n got %q\nwant %q", i, g, want)
+		want := serialize(healthy)
+		restore := SlowPeer(f.net, f.primaries[0], 50*time.Millisecond)
+		for i := 0; i < 5; i++ {
+			got, _, err := svc.Query(f.query, core.Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := serialize(got); g != want {
+				t.Fatalf("compiled=%v slow peer run %d diverged\n got %q\nwant %q", compiled, i, g, want)
+			}
 		}
+		restore()
 	}
 }

@@ -45,55 +45,58 @@ func replicatedFederation(t *testing.T, peers int) (*Network, *Peer, []string, c
 // the in-memory transport: with every shard replicated x2, killing any
 // single primary yields byte-identical results to the healthy run — for the
 // hand-written scatter query and the planner-generated logical plan, in
-// gather-whole and streamed dispatch.
+// gather-whole and streamed dispatch, tree-walking and compiled.
 func TestKillAnyPeerInMemory(t *testing.T) {
 	for _, peers := range []int{2, 4} {
-		n, local, names, m := replicatedFederation(t, peers)
-		handQuery := xmark.ScatterQuery(names)
+		for _, compiled := range []bool{false, true} {
+			n, local, names, m := replicatedFederation(t, peers)
+			n.SetCompile(compiled)
+			handQuery := xmark.ScatterQuery(names)
 
-		type mode struct {
-			name string
-			run  func() (xdm.Sequence, *Report, error)
-		}
-		modes := []mode{
-			{"hand-gather", func() (xdm.Sequence, *Report, error) {
-				sess := n.NewSession(local, core.ByFragment).UseRetry(&xrpc.RetryPolicy{})
-				sess.Replicas = m.ReplicaSets()
-				return sess.Query(handQuery)
-			}},
-			{"hand-streamed", func() (xdm.Sequence, *Report, error) {
-				sess := n.NewSession(local, core.ByFragment).UseRetry(&xrpc.RetryPolicy{})
-				sess.Replicas = m.ReplicaSets()
-				sess.Streamed = true
-				return sess.Query(handQuery)
-			}},
-			{"planner-gather", func() (xdm.Sequence, *Report, error) {
-				sess := n.NewSession(local, core.ByFragment).UseShards(m).UseRetry(&xrpc.RetryPolicy{})
-				return sess.Query(xmark.LogicalScatterQuery())
-			}},
-		}
-		for _, md := range modes {
-			res, _, err := md.run()
-			if err != nil {
-				t.Fatalf("%d peers %s healthy: %v", peers, md.name, err)
+			type mode struct {
+				name string
+				run  func() (xdm.Sequence, *Report, error)
 			}
-			want := serializeSeq(t, res)
-			for _, victim := range names {
-				n.KillPeer(victim)
-				res, rep, err := md.run()
+			modes := []mode{
+				{"hand-gather", func() (xdm.Sequence, *Report, error) {
+					sess := n.NewSession(local, core.ByFragment).UseRetry(&xrpc.RetryPolicy{}).UseCompile(compiled)
+					sess.Replicas = m.ReplicaSets()
+					return sess.Query(handQuery)
+				}},
+				{"hand-streamed", func() (xdm.Sequence, *Report, error) {
+					sess := n.NewSession(local, core.ByFragment).UseRetry(&xrpc.RetryPolicy{}).UseCompile(compiled)
+					sess.Replicas = m.ReplicaSets()
+					sess.Streamed = true
+					return sess.Query(handQuery)
+				}},
+				{"planner-gather", func() (xdm.Sequence, *Report, error) {
+					sess := n.NewSession(local, core.ByFragment).UseShards(m).UseRetry(&xrpc.RetryPolicy{}).UseCompile(compiled)
+					return sess.Query(xmark.LogicalScatterQuery())
+				}},
+			}
+			for _, md := range modes {
+				res, _, err := md.run()
 				if err != nil {
-					t.Fatalf("%d peers %s, %s killed: %v", peers, md.name, victim, err)
+					t.Fatalf("%d peers %s healthy: %v", peers, md.name, err)
 				}
-				if got := serializeSeq(t, res); got != want {
-					t.Fatalf("%d peers %s, %s killed: result diverged from healthy run", peers, md.name, victim)
+				want := serializeSeq(t, res)
+				for _, victim := range names {
+					n.KillPeer(victim)
+					res, rep, err := md.run()
+					if err != nil {
+						t.Fatalf("%d peers %s, %s killed: %v", peers, md.name, victim, err)
+					}
+					if got := serializeSeq(t, res); got != want {
+						t.Fatalf("%d peers %s, %s killed: result diverged from healthy run", peers, md.name, victim)
+					}
+					if rep.Retries < 1 {
+						t.Errorf("%d peers %s, %s killed: report records no retry (%+v)", peers, md.name, victim, rep)
+					}
+					if w := rep.WinnerReplica[victim]; !strings.HasPrefix(w, "rep") {
+						t.Errorf("%d peers %s, %s killed: WinnerReplica[%s] = %q, want a replica", peers, md.name, victim, victim, w)
+					}
+					n.RevivePeer(victim)
 				}
-				if rep.Retries < 1 {
-					t.Errorf("%d peers %s, %s killed: report records no retry (%+v)", peers, md.name, victim, rep)
-				}
-				if w := rep.WinnerReplica[victim]; !strings.HasPrefix(w, "rep") {
-					t.Errorf("%d peers %s, %s killed: WinnerReplica[%s] = %q, want a replica", peers, md.name, victim, victim, w)
-				}
-				n.RevivePeer(victim)
 			}
 		}
 	}
@@ -161,7 +164,8 @@ func (s *slowPeerTransport) RoundTripStream(ctx context.Context, peer string, re
 }
 
 // TestSlowPeerHedged: a straggling primary is hedged to its replica and the
-// query answers byte-identically, fast, with the hedge on the report.
+// query answers byte-identically, fast, with the hedge on the report — in
+// tree-walking and compiled execution alike.
 func TestSlowPeerHedged(t *testing.T) {
 	n, local, names, m := replicatedFederation(t, 2)
 	handQuery := xmark.ScatterQuery(names)
@@ -177,30 +181,33 @@ func TestSlowPeerHedged(t *testing.T) {
 	n.RouteExternal(names[0], &slowPeerTransport{
 		inner: n.Transport, delay: map[string]time.Duration{names[0]: 5 * time.Second}})
 
-	for _, streamed := range []bool{false, true} {
-		sess := n.NewSession(local, core.ByFragment).UseRetry(
-			&xrpc.RetryPolicy{MaxAttempts: 2, HedgeAfter: 10 * time.Millisecond})
-		sess.Replicas = m.ReplicaSets()
-		sess.Streamed = streamed
-		t0 := time.Now()
-		res, rep, err := sess.Query(handQuery)
-		if err != nil {
-			t.Fatalf("streamed=%v: %v", streamed, err)
-		}
-		if wall := time.Since(t0); wall > 2*time.Second {
-			t.Fatalf("streamed=%v: query took %v — the straggler was waited out", streamed, wall)
-		}
-		if got := serializeSeq(t, res); got != want {
-			t.Fatalf("streamed=%v: hedged result diverged from healthy run", streamed)
-		}
-		if rep.Hedges < 1 {
-			t.Errorf("streamed=%v: report records no hedge: %+v", streamed, rep)
-		}
-		if w := rep.WinnerReplica[names[0]]; w != "rep1" {
-			t.Errorf("streamed=%v: WinnerReplica[%s] = %q, want rep1", streamed, names[0], w)
-		}
-		if rep.WastedNS <= 0 {
-			t.Errorf("streamed=%v: no wasted time accounted for the losing attempt", streamed)
+	for _, compiled := range []bool{false, true} {
+		n.SetCompile(compiled)
+		for _, streamed := range []bool{false, true} {
+			sess := n.NewSession(local, core.ByFragment).UseRetry(
+				&xrpc.RetryPolicy{MaxAttempts: 2, HedgeAfter: 10 * time.Millisecond}).UseCompile(compiled)
+			sess.Replicas = m.ReplicaSets()
+			sess.Streamed = streamed
+			t0 := time.Now()
+			res, rep, err := sess.Query(handQuery)
+			if err != nil {
+				t.Fatalf("streamed=%v: %v", streamed, err)
+			}
+			if wall := time.Since(t0); wall > 2*time.Second {
+				t.Fatalf("streamed=%v: query took %v — the straggler was waited out", streamed, wall)
+			}
+			if got := serializeSeq(t, res); got != want {
+				t.Fatalf("streamed=%v: hedged result diverged from healthy run", streamed)
+			}
+			if rep.Hedges < 1 {
+				t.Errorf("streamed=%v: report records no hedge: %+v", streamed, rep)
+			}
+			if w := rep.WinnerReplica[names[0]]; w != "rep1" {
+				t.Errorf("streamed=%v: WinnerReplica[%s] = %q, want rep1", streamed, names[0], w)
+			}
+			if rep.WastedNS <= 0 {
+				t.Errorf("streamed=%v: no wasted time accounted for the losing attempt", streamed)
+			}
 		}
 	}
 }
@@ -246,7 +253,7 @@ func TestConflictingReplicaSetsRejected(t *testing.T) {
 // whose originator is the only in-process peer. It returns the network, the
 // originator, the primary names, the shard map, and a kill function that
 // tears down one daemon's listener (a real dead host, not a simulated one).
-func httpShardFederation(t *testing.T, peers int) (*Network, *Peer, []string, core.ShardMap, func(name string)) {
+func httpShardFederation(t *testing.T, peers int, compiled bool) (*Network, *Peer, []string, core.ShardMap, func(name string)) {
 	t.Helper()
 	cfg := xmark.ForSize(1 << 17)
 	n := NewNetwork()
@@ -262,6 +269,7 @@ func httpShardFederation(t *testing.T, peers int) (*Network, *Peer, []string, co
 			}
 			return nil, fmt.Errorf("no such document %q", uri)
 		}))
+		engine.Options.Compile = compiled
 		srv := &xrpc.Server{Engine: engine, ChunkItems: 8}
 		mux := http.NewServeMux()
 		mux.Handle("/xrpc", xrpc.NewHTTPHandler(srv))
@@ -288,34 +296,37 @@ func httpShardFederation(t *testing.T, peers int) (*Network, *Peer, []string, co
 
 // TestKillPeerOverHTTP: the acceptance property over real HTTP transports —
 // a killed daemon (closed listener) fails over to its replica daemon with
-// byte-identical results, gather-whole and streamed.
+// byte-identical results, gather-whole and streamed, with the daemons
+// tree-walking and compiled.
 func TestKillPeerOverHTTP(t *testing.T) {
-	for _, streamed := range []bool{false, true} {
-		n, local, names, m, kill := httpShardFederation(t, 2)
-		run := func() (xdm.Sequence, *Report, error) {
-			sess := n.NewSession(local, core.ByFragment).UseRetry(&xrpc.RetryPolicy{})
-			sess.Replicas = m.ReplicaSets()
-			sess.Streamed = streamed
-			return sess.Query(xmark.ScatterQuery(names))
-		}
-		res, _, err := run()
-		if err != nil {
-			t.Fatalf("streamed=%v healthy: %v", streamed, err)
-		}
-		want := serializeSeq(t, res)
-		kill(names[1])
-		res, rep, err := run()
-		if err != nil {
-			t.Fatalf("streamed=%v, %s killed: %v", streamed, names[1], err)
-		}
-		if got := serializeSeq(t, res); got != want {
-			t.Fatalf("streamed=%v: result diverged after killing %s", streamed, names[1])
-		}
-		if rep.Retries < 1 {
-			t.Errorf("streamed=%v: report records no retry: %+v", streamed, rep)
-		}
-		if w := rep.WinnerReplica[names[1]]; w != "rep2" {
-			t.Errorf("streamed=%v: WinnerReplica[%s] = %q, want rep2", streamed, names[1], w)
+	for _, compiled := range []bool{false, true} {
+		for _, streamed := range []bool{false, true} {
+			n, local, names, m, kill := httpShardFederation(t, 2, compiled)
+			run := func() (xdm.Sequence, *Report, error) {
+				sess := n.NewSession(local, core.ByFragment).UseRetry(&xrpc.RetryPolicy{}).UseCompile(compiled)
+				sess.Replicas = m.ReplicaSets()
+				sess.Streamed = streamed
+				return sess.Query(xmark.ScatterQuery(names))
+			}
+			res, _, err := run()
+			if err != nil {
+				t.Fatalf("compiled=%v streamed=%v healthy: %v", compiled, streamed, err)
+			}
+			want := serializeSeq(t, res)
+			kill(names[1])
+			res, rep, err := run()
+			if err != nil {
+				t.Fatalf("compiled=%v streamed=%v, %s killed: %v", compiled, streamed, names[1], err)
+			}
+			if got := serializeSeq(t, res); got != want {
+				t.Fatalf("compiled=%v streamed=%v: result diverged after killing %s", compiled, streamed, names[1])
+			}
+			if rep.Retries < 1 {
+				t.Errorf("compiled=%v streamed=%v: report records no retry: %+v", compiled, streamed, rep)
+			}
+			if w := rep.WinnerReplica[names[1]]; w != "rep2" {
+				t.Errorf("compiled=%v streamed=%v: WinnerReplica[%s] = %q, want rep2", compiled, streamed, names[1], w)
+			}
 		}
 	}
 }

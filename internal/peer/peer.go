@@ -61,6 +61,9 @@ type Network struct {
 	// chunkItems is applied to every peer server's ChunkItems (see
 	// SetChunkItems); zero leaves the xrpc default.
 	chunkItems int
+	// compile is applied to every peer engine's Options.Compile (see
+	// SetCompile).
+	compile bool
 }
 
 // NewNetwork creates an empty federation with the paper's 1 Gb/s LAN model.
@@ -138,6 +141,7 @@ func (n *Network) AddPeer(name string) *Peer {
 	p.Server = &xrpc.Server{Engine: p.Engine}
 	n.mu.Lock()
 	p.Server.ChunkItems = n.chunkItems
+	p.Engine.Options.Compile = n.compile
 	n.peers[name] = p
 	n.mu.Unlock()
 	n.Transport.Register(name, p.Server)
@@ -158,6 +162,22 @@ func (n *Network) SetChunkItems(items int) {
 	}
 	for _, p := range n.dead {
 		p.Server.ChunkItems = items
+	}
+}
+
+// SetCompile switches every in-process peer engine, current and future, to
+// compiled (closure-chain) execution of shipped functions; the originator
+// side of a session is controlled by Session.Compile instead. Results are
+// byte-identical either way — only execution cost changes.
+func (n *Network) SetCompile(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.compile = on
+	for _, p := range n.peers {
+		p.Engine.Options.Compile = on
+	}
+	for _, p := range n.dead {
+		p.Engine.Options.Compile = on
 	}
 }
 
@@ -382,7 +402,12 @@ type Session struct {
 	// observed lane latencies feed it, and dispatch derives its hedge trigger
 	// and initial replica choice from it (see xrpc.HealthTracker).
 	Health *xrpc.HealthTracker
-	net    *Network
+	// Compile runs the originator's local evaluation through the compiled
+	// closure-chain executor (eval.Options.Compile). The compiled artifact
+	// caches on the plan's query object, so repeated executions of a cached
+	// plan compile once. Peer-side execution is Network.SetCompile's job.
+	Compile bool
+	net     *Network
 }
 
 // UseRetry installs a retry/hedging policy on the session and returns the
@@ -410,6 +435,13 @@ func (s *Session) UseBudget(b core.Budget) *Session {
 // spreading (see Health) and returns the session for chaining.
 func (s *Session) UseHealth(h *xrpc.HealthTracker) *Session {
 	s.Health = h
+	return s
+}
+
+// UseCompile switches the session's local evaluation to the compiled
+// executor (see Compile) and returns the session for chaining.
+func (s *Session) UseCompile(on bool) *Session {
+	s.Compile = on
 	return s
 }
 
@@ -464,6 +496,7 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	ship := &shipStats{}
 	resolver := &peerResolver{peer: s.Origin, shipStats: ship}
 	engine := eval.NewEngine(resolver)
+	engine.Options.Compile = s.Compile
 	// Logical documents resolve at the originator by materializing the
 	// union of shards; each shard transfer is accounted as data shipping.
 	for _, m := range s.Shards {

@@ -4,15 +4,28 @@ import (
 	"sync"
 
 	"distxq/internal/core"
+	"distxq/internal/eval"
 )
 
-// planCache is a bounded insert-order cache of decomposed plans. Keys embed
-// the shard-map epoch, so a shard-map change invalidates by never matching
-// again; stale entries age out through insertion-order eviction.
+// cachedPlan is one plan-cache entry: the decomposed plan plus, under
+// compiled execution, its compiled artifact. Both are immutable after
+// publication; the key's shard-map epoch guarantees a Program can never be
+// executed against shard maps it was not planned under.
+type cachedPlan struct {
+	plan *core.Plan
+	// prog is the closure-chain lowering of plan.Query, compiled eagerly at
+	// plan time when the service runs compiled; nil otherwise.
+	prog *eval.Program
+}
+
+// planCache is a bounded insert-order cache of decomposed plans (and their
+// compiled artifacts). Keys embed the shard-map epoch, so a shard-map change
+// invalidates by never matching again; stale entries age out through
+// insertion-order eviction.
 type planCache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]*core.Plan
+	entries map[string]cachedPlan
 	order   []string
 }
 
@@ -20,17 +33,17 @@ func newPlanCache(max int) *planCache {
 	if max <= 0 {
 		max = DefaultPlanCacheSize
 	}
-	return &planCache{max: max, entries: map[string]*core.Plan{}}
+	return &planCache{max: max, entries: map[string]cachedPlan{}}
 }
 
-func (c *planCache) get(key string) (*core.Plan, bool) {
+func (c *planCache) get(key string) (cachedPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p, ok := c.entries[key]
 	return p, ok
 }
 
-func (c *planCache) put(key string, p *core.Plan) {
+func (c *planCache) put(key string, p cachedPlan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; ok {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"distxq/internal/core"
+	"distxq/internal/eval"
 	"distxq/internal/peer"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
@@ -48,6 +49,12 @@ type Config struct {
 	DefaultBudget core.Budget
 	// Streamed executes scatter dispatch through the streaming client.
 	Streamed bool
+	// Compile lowers cached plans to the compiled closure-chain executor:
+	// each plan compiles once, at plan time, and every execution of the
+	// cached plan (across concurrent queries) runs the compiled artifact.
+	// The cache key's shard-map epoch invalidates compiled plans together
+	// with the plans themselves.
+	Compile bool
 	// PlanCacheSize bounds the decomposed-plan cache; zero means
 	// DefaultPlanCacheSize.
 	PlanCacheSize int
@@ -211,7 +218,7 @@ func (s *Service) plan(src string) (*core.Plan, []core.ShardMap, error) {
 	key := fmt.Sprintf("%d|%d|%s", epoch, s.strategy, xq.PrintQuery(q))
 	if p, ok := s.plans.get(key); ok {
 		s.planHits.Add(1)
-		return p, shards, nil
+		return p.plan, shards, nil
 	}
 	s.planMisses.Add(1)
 	opts := core.DefaultOptions()
@@ -226,7 +233,19 @@ func (s *Service) plan(src string) (*core.Plan, []core.ShardMap, error) {
 	if err := xq.Normalize(plan.Query); err != nil {
 		return nil, nil, err
 	}
-	s.plans.put(key, plan)
+	entry := cachedPlan{plan: plan}
+	if s.cfg.Compile {
+		// Compile before publication: the artifact pins to the plan's query
+		// object, so every execution of this cache entry — including
+		// concurrent ones — shares one lowering, and a new epoch's plan gets
+		// a fresh compilation against the new shard maps.
+		prog, err := eval.CompileQuery(plan.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		entry.prog = prog
+	}
+	s.plans.put(key, entry)
 	return plan, shards, nil
 }
 
@@ -253,7 +272,8 @@ func (s *Service) Query(src string, budget core.Budget) (xdm.Sequence, *peer.Rep
 	sess := s.net.NewSession(s.origin, s.strategy).
 		UseBudget(budget).
 		UseRetry(s.retry).
-		UseHealth(s.Health)
+		UseHealth(s.Health).
+		UseCompile(s.cfg.Compile)
 	sess.Streamed = s.cfg.Streamed
 	sess.Shards = shards
 	sess.Replicas = s.Replicas

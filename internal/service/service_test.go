@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"distxq/internal/core"
+	"distxq/internal/eval"
 	"distxq/internal/peer"
+	"distxq/internal/xdm"
 	"distxq/internal/xrpc"
 )
 
@@ -148,9 +150,9 @@ func TestServiceDefaultBudgetApplied(t *testing.T) {
 // TestPlanCacheEviction: the bounded cache evicts in insertion order.
 func TestPlanCacheEviction(t *testing.T) {
 	c := newPlanCache(2)
-	c.put("a", &core.Plan{})
-	c.put("b", &core.Plan{})
-	c.put("c", &core.Plan{})
+	c.put("a", cachedPlan{plan: &core.Plan{}})
+	c.put("b", cachedPlan{plan: &core.Plan{}})
+	c.put("c", cachedPlan{plan: &core.Plan{}})
 	if c.Len() != 2 {
 		t.Fatalf("len=%d, want 2", c.Len())
 	}
@@ -163,8 +165,97 @@ func TestPlanCacheEviction(t *testing.T) {
 		}
 	}
 	// Re-putting an existing key replaces without evicting.
-	c.put("b", &core.Plan{})
+	c.put("b", cachedPlan{plan: &core.Plan{}})
 	if c.Len() != 2 {
 		t.Errorf("len=%d after re-put, want 2", c.Len())
+	}
+}
+
+// TestCompiledPlanNotStaleAcrossShardEpochs is the stale-plan proof for
+// compiled execution: UseShards between two identical queries bumps the
+// epoch, so the second execution misses the cache, re-plans and re-compiles
+// against the new shard map — and the old compiled plan can never route to a
+// peer absent from it. The old shard peers are killed before the second
+// query; it still succeeds, answered entirely by the new map's peers.
+func TestCompiledPlanNotStaleAcrossShardEpochs(t *testing.T) {
+	n := peer.NewNetwork()
+	for i := 1; i <= 4; i++ {
+		doc := fmt.Sprintf(`<r><v>a%d</v></r>`, i)
+		if err := n.AddPeer(fmt.Sprintf("peer%d", i)).LoadXML("d.xml", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	origin := n.AddPeer("local")
+	s := New(n, origin, core.ByFragment, Config{Compile: true})
+	shardMap := func(peers ...string) core.ShardMap {
+		return core.ShardMap{
+			Logical:    "shard://test/d",
+			Peers:      peers,
+			ShardPath:  "d.xml",
+			RecordPath: "child::r/child::v",
+		}
+	}
+	query := `for $x in doc("shard://test/d")/child::r/child::v return $x`
+	values := func(res xdm.Sequence) string {
+		out := ""
+		for i, it := range res {
+			if i > 0 {
+				out += " "
+			}
+			out += it.ItemString()
+		}
+		return out
+	}
+
+	s.UseShards(shardMap("peer1", "peer2"))
+	res, rep, err := s.Query(query, core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := values(res); got != "a1 a2" {
+		t.Fatalf("epoch 1 result %q, want \"a1 a2\"", got)
+	}
+	if len(rep.Shards) == 0 || !rep.Shards[0].Scattered {
+		t.Fatalf("epoch 1 plan did not scatter: %+v", rep.Shards)
+	}
+	if st := s.Stats(); st.PlanMisses != 1 {
+		t.Fatalf("epoch 1 misses=%d, want 1", st.PlanMisses)
+	}
+
+	// Re-home the logical document and take the old peers down: any routing
+	// decision left over from the stale compiled plan now fails loudly.
+	s.UseShards(shardMap("peer3", "peer4"))
+	n.KillPeer("peer1")
+	n.KillPeer("peer2")
+
+	res, rep, err = s.Query(query, core.Budget{})
+	if err != nil {
+		t.Fatalf("epoch 2 query failed (stale compiled plan routed to a dead peer?): %v", err)
+	}
+	if got := values(res); got != "a3 a4" {
+		t.Fatalf("epoch 2 result %q, want \"a3 a4\"", got)
+	}
+	if len(rep.Shards) == 0 || !rep.Shards[0].Scattered {
+		t.Fatalf("epoch 2 plan did not scatter: %+v", rep.Shards)
+	}
+	st := s.Stats()
+	if st.PlanMisses != 2 || st.PlanHits != 0 {
+		t.Fatalf("epoch 2 misses=%d hits=%d, want 2/0 (epoch key must miss)", st.PlanMisses, st.PlanHits)
+	}
+
+	// Both epochs' entries live side by side, each with its own compiled
+	// artifact — the epoch key separates them, re-compilation is real.
+	s.plans.mu.Lock()
+	progs := map[*eval.Program]bool{}
+	for _, e := range s.plans.entries {
+		if e.prog == nil {
+			t.Error("cached plan without compiled artifact under Config.Compile")
+		}
+		progs[e.prog] = true
+	}
+	count := len(s.plans.entries)
+	s.plans.mu.Unlock()
+	if count != 2 || len(progs) != 2 {
+		t.Fatalf("cache holds %d entries with %d distinct programs, want 2/2", count, len(progs))
 	}
 }

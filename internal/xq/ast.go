@@ -6,7 +6,11 @@
 // arithmetic, and user-defined functions.
 package xq
 
-import "distxq/internal/xdm"
+import (
+	"sync/atomic"
+
+	"distxq/internal/xdm"
+)
 
 // Query is a parsed query: prolog function declarations plus a body.
 type Query struct {
@@ -16,7 +20,22 @@ type Query struct {
 	// Normalize is a no-op read on it — required for plans shared between
 	// concurrent executions (see Normalize).
 	normalized bool
+	// compiled caches an engine-layer compiled artifact for the query. It is
+	// deliberately untyped because xq cannot import the evaluator; the
+	// evaluator stores its compiled program here so every engine executing
+	// the same (normalized, read-only) query — most importantly the service's
+	// cached plans, which spawn a fresh engine per query — reuses one
+	// compilation instead of lowering the tree again.
+	compiled atomic.Value
 }
+
+// CompiledArtifact returns the engine-layer compiled artifact attached to the
+// query, or nil when it has not been compiled.
+func (q *Query) CompiledArtifact() any { return q.compiled.Load() }
+
+// SetCompiledArtifact attaches an engine-layer compiled artifact. Callers
+// must always store values of one concrete type.
+func (q *Query) SetCompiledArtifact(a any) { q.compiled.Store(a) }
 
 // FuncDecl is `declare function name($p as T, ...) as T { body };`.
 type FuncDecl struct {

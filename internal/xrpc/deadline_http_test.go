@@ -91,39 +91,50 @@ func checkDeadlineFailure(t *testing.T, err error, start time.Time) {
 	}
 }
 
-// TestDeadlinePropagatesOverHTTPGather: gather-whole dispatch.
+// TestDeadlinePropagatesOverHTTPGather: gather-whole dispatch, the peer
+// tree-walking and compiled — the compiled closure chains must hit the same
+// budget checks and record the same typed abort.
 func TestDeadlinePropagatesOverHTTPGather(t *testing.T) {
-	tr, peerEng := deadlineFederation(t)
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
-	eng := eval.NewEngine(nil)
-	eng.Remote = httpDeadlineClient(tr, ctx)
+	for _, compiled := range []bool{false, true} {
+		tr, peerEng := deadlineFederation(t)
+		peerEng.Options.Compile = compiled
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		eng := eval.NewEngine(nil)
+		eng.Options.Compile = compiled
+		eng.Remote = httpDeadlineClient(tr, ctx)
 
-	start := time.Now()
-	res, err := eng.QueryString(crunchSrc)
-	checkDeadlineFailure(t, err, start)
-	if res != nil {
-		t.Errorf("partial result %v survived a blown budget", res)
+		start := time.Now()
+		res, err := eng.QueryString(crunchSrc)
+		checkDeadlineFailure(t, err, start)
+		if res != nil {
+			t.Errorf("compiled=%v: partial result %v survived a blown budget", compiled, res)
+		}
+		waitForAbort(t, peerEng)
+		cancel()
 	}
-	waitForAbort(t, peerEng)
 }
 
 // TestDeadlinePropagatesOverHTTPStreamed: the streamed dispatch path must
-// discard partial chunk frames and surface the same typed failure.
+// discard partial chunk frames and surface the same typed failure, again in
+// both execution modes.
 func TestDeadlinePropagatesOverHTTPStreamed(t *testing.T) {
-	tr, peerEng := deadlineFederation(t)
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
-	eng := eval.NewEngine(nil)
-	eng.Remote = &StreamedClient{Client: httpDeadlineClient(tr, ctx)}
+	for _, compiled := range []bool{false, true} {
+		tr, peerEng := deadlineFederation(t)
+		peerEng.Options.Compile = compiled
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		eng := eval.NewEngine(nil)
+		eng.Options.Compile = compiled
+		eng.Remote = &StreamedClient{Client: httpDeadlineClient(tr, ctx)}
 
-	start := time.Now()
-	res, err := eng.QueryString(crunchSrc)
-	checkDeadlineFailure(t, err, start)
-	if res != nil {
-		t.Errorf("partial streamed result %v survived a blown budget", res)
+		start := time.Now()
+		res, err := eng.QueryString(crunchSrc)
+		checkDeadlineFailure(t, err, start)
+		if res != nil {
+			t.Errorf("compiled=%v: partial streamed result %v survived a blown budget", compiled, res)
+		}
+		waitForAbort(t, peerEng)
+		cancel()
 	}
-	waitForAbort(t, peerEng)
 }
 
 // TestBudgetedQueryWithinDeadlineSucceeds: the budget plumbing must be
