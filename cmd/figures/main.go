@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|7|8|9|10|scatter|shard|stream|incremental|hedge|load] [-size bytes] [-steps n] [-json file] [-check baseline]
+//	figures [-fig all|7|8|9|10|scatter|shard|stream|incremental|hedge|load|trace] [-size bytes] [-steps n] [-json file] [-check baseline]
 //
 // -size sets the largest combined document size of the sweep (default 2 MiB;
 // the paper used 320 MB on a cluster — larger sizes just take longer).
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, incremental, hedge, load")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, incremental, hedge, load, trace")
 	size := flag.Int64("size", 1<<21, "largest combined document size in bytes")
 	steps := flag.Int("steps", 5, "number of sizes in the sweep (halving per step)")
 	maxPeers := flag.Int("peers", 8, "largest peer count of the scatter sweep (doubling from 1)")
@@ -35,6 +35,8 @@ func main() {
 		"fractional regression allowed by -check in goodput (down) and admitted P99 (up)")
 	compile := flag.Bool("compile", false,
 		"run every engine (peers and originators) through the compiled closure-chain executor")
+	traceOut := flag.String("trace-out", "",
+		"with -fig trace: also write the live run's span tree as Chrome trace-event JSON (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 	bench.Compile = *compile
 	sink := newJSONSink()
@@ -144,6 +146,25 @@ func main() {
 			return err
 		}
 		bench.PrintFigFailover(os.Stdout, *size, fo)
+		return nil
+	})
+	run("trace", func() error {
+		// The simulated waterfall is deterministic (netsim time only); the
+		// live run below it validates the real assembled tree.
+		bench.PrintFigTrace(os.Stdout, bench.SimTraceFig())
+		fmt.Println()
+		row, err := bench.FigTrace(*size, 4)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigTraceRow(os.Stdout, *size, row)
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, row.ChromeJSON, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d spans) — open in chrome://tracing or Perfetto\n",
+				*traceOut, row.Spans)
+		}
 		return nil
 	})
 	run("load", func() error {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"distxq/internal/bench"
+	"distxq/internal/trace"
 	"distxq/internal/xrpc"
 )
 
@@ -217,6 +218,84 @@ func TestFigHedgeLive(t *testing.T) {
 	}
 	if row.Retries < 1 || row.Winner == "" {
 		t.Fatalf("failover run did not record the replica win: %+v", row)
+	}
+}
+
+// TestFigTraceGolden locks in the trace-waterfall rendering. SimTraceFig is
+// a deterministic netsim-model computation (simulated time only), so the
+// golden covers the real span times, not just the layout.
+func TestFigTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	bench.PrintFigTrace(&buf, bench.SimTraceFig())
+	checkGolden(t, "fig_trace.golden", buf.Bytes())
+}
+
+// TestFigTraceChromeGolden locks in the Chrome trace-event export of the
+// simulated waterfall — the JSON must stay loadable by chrome://tracing.
+func TestFigTraceChromeGolden(t *testing.T) {
+	b, err := trace.ChromeTraceJSON(bench.SimTraceFig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("chrome export does not parse: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	checkGolden(t, "fig_trace_chrome.json.golden", b)
+}
+
+// TestFigTraceLive asserts the acceptance property of the tracing tentpole:
+// one traced query over a killed-primary hedged scatter yields one connected
+// span tree holding admission and plan spans, every lane attempt with a
+// winner tag on the survivors, server-side spans from at least two live
+// peers, zero leaked or double-ended spans, a valid Chrome export, and
+// byte-identical results to the untraced healthy run.
+func TestFigTraceLive(t *testing.T) {
+	row, err := bench.FigTrace(1<<18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Connected {
+		t.Errorf("span tree is not one connected tree: %d spans", row.Spans)
+	}
+	if row.OpenSpans != 0 || row.DoubleEnds != 0 {
+		t.Errorf("span lifecycle invariants violated: open=%d doubleEnds=%d", row.OpenSpans, row.DoubleEnds)
+	}
+	if !row.ResultsEqual {
+		t.Error("traced killed-primary run diverged from the untraced healthy run")
+	}
+	if row.Winners != row.Peers {
+		t.Errorf("winners = %d, want one per lane (%d)", row.Winners, row.Peers)
+	}
+	if row.Attempts <= row.Peers {
+		t.Errorf("attempts = %d over %d lanes — the killed primary forced no failover attempt",
+			row.Attempts, row.Peers)
+	}
+	if row.RemotePeers < 2 {
+		t.Errorf("server-side spans from %d peers, want >= 2", row.RemotePeers)
+	}
+	names := map[string]bool{}
+	for _, s := range row.Rec.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"query", "admission", "plan", "execute", "scatter", "lane", "attempt", "serve"} {
+		if !names[want] {
+			t.Errorf("assembled tree is missing a %q span", want)
+		}
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(row.ChromeJSON, &f); err != nil {
+		t.Fatalf("live chrome export does not parse: %v", err)
+	}
+	if len(f.TraceEvents) < row.Spans {
+		t.Errorf("chrome export has %d events for %d spans", len(f.TraceEvents), row.Spans)
 	}
 }
 

@@ -13,8 +13,17 @@
 //	POST /query   query text in the body; X-Xqd-Budget-Ms overrides the
 //	              default per-query budget. 200 carries the serialized
 //	              result; 503 a shed (overloaded) query; 504 a blown budget.
-//	GET  /stats   JSON service counters (admitted, shed, plan hits, ...).
+//	GET  /stats   JSON service counters (admitted, shed, plan hits, ...)
+//	              plus per-peer health-tracker state.
+//	GET  /metrics Prometheus-style text page unifying service, evaluation,
+//	              transport and per-peer health metrics.
+//	GET  /debug/traces  recent and slowest query span trees as JSON
+//	              (requires -trace).
 //	GET  /healthz liveness probe.
+//
+// -pprof additionally serves net/http/pprof under /debug/pprof/ (off by
+// default: the daemon uses its own mux, so pprof's DefaultServeMux
+// registration is inert unless wired in).
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -69,6 +79,10 @@ func main() {
 	spread := flag.Bool("spread", true, "spread initial lane targets across healthy replicas")
 	compile := flag.Bool("compile", false,
 		"compile cached plans into the closure-chain executor (one lowering per plan, shared across queries)")
+	traced := flag.Bool("trace", false,
+		"record a span tree per query, served at /debug/traces")
+	traceRing := flag.Int("trace-ring", 0, "recent traces retained (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	strat, err := parseStrategy(*strategy)
@@ -119,6 +133,8 @@ func main() {
 		DefaultBudget: core.Budget{Wall: *budget},
 		Streamed:      *streamed,
 		Compile:       *compile,
+		Trace:         *traced,
+		TraceRing:     *traceRing,
 	})
 	pol := &xrpc.RetryPolicy{
 		MaxAttempts:    *retries,
@@ -137,7 +153,11 @@ func main() {
 	}
 	svc.Replicas = replicas
 
-	http.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+	// A private mux keeps the surface explicit: importing net/http/pprof
+	// registers its handlers on http.DefaultServeMux unconditionally, so
+	// serving that mux would expose profiling endpoints regardless of -pprof.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "query requires POST", http.StatusMethodNotAllowed)
 			return
@@ -169,15 +189,37 @@ func main() {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		}
 	})
-	http.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(svc.Stats())
+		_ = json.NewEncoder(w).Encode(struct {
+			service.Stats
+			Peers map[string]xrpc.PeerHealthState `json:"peers,omitempty"`
+		}{svc.Stats(), svc.PeerHealth()})
 	})
-	http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = svc.WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		if svc.Traces == nil {
+			http.Error(w, "tracing disabled (run with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(svc.Traces.Dump())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	fmt.Printf("xqd listening on %s (strategy %s, budget %v)\n", *listen, strat, *budget)
-	if err := http.ListenAndServe(*listen, nil); err != nil {
+	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fail(err)
 	}
 }

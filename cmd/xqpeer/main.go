@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -37,6 +38,9 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	chunkItems := flag.Int("chunk-items", 0,
 		"result items per streamed response chunk (0 = default)")
+	name := flag.String("name", "",
+		"peer name stamped on server-side trace spans (default: listen address)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	docs := docFlags{}
 	flag.Var(docs, "doc", "name=path of a document to serve (repeatable)")
 	flag.Parse()
@@ -67,13 +71,28 @@ func main() {
 		}
 		return nil, fmt.Errorf("no such document %q", uri)
 	}))
-	srv := &xrpc.Server{Engine: engine, ChunkItems: *chunkItems}
-	http.Handle("/xrpc", xrpc.NewHTTPHandler(srv))
+	peerName := *name
+	if peerName == "" {
+		peerName = *listen
+	}
+	srv := &xrpc.Server{Engine: engine, ChunkItems: *chunkItems, Name: peerName}
+	// A private mux keeps the surface explicit: importing net/http/pprof
+	// registers on http.DefaultServeMux unconditionally, so serving that mux
+	// would expose profiling endpoints regardless of -pprof.
+	mux := http.NewServeMux()
+	mux.Handle("/xrpc", xrpc.NewHTTPHandler(srv))
 	// Streaming endpoint: results leave as chunk frames while later calls
 	// are still evaluating.
-	http.Handle("/xrpc/stream", xrpc.NewStreamHTTPHandler(srv))
+	mux.Handle("/xrpc/stream", xrpc.NewStreamHTTPHandler(srv))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	fmt.Printf("xqpeer listening on %s\n", *listen)
-	if err := http.ListenAndServe(*listen, nil); err != nil {
+	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "xqpeer: %v\n", err)
 		os.Exit(1)
 	}

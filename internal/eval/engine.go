@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 )
@@ -152,6 +153,10 @@ type Engine struct {
 	// query-local engine from the query budget; peers serving many requests
 	// use the per-call EvalFunctionDeadline instead.
 	Deadline time.Time
+	// TraceSpan, when active, is the span this engine's evaluation records
+	// under — sessions set it on their query-local engine so compile work
+	// shows up in the query's trace. The zero value disables recording.
+	TraceSpan trace.SpanRef
 
 	mu       sync.Mutex
 	docCache map[string]*docEntry
@@ -182,6 +187,46 @@ type Stats struct {
 	// cached Program on the query does not count: compilation happened on
 	// another engine or an earlier call).
 	Compilations int
+}
+
+// Add accumulates another counter snapshot, fieldwise.
+func (s *Stats) Add(o Stats) {
+	s.DocsResolved += o.DocsResolved
+	s.RemoteCalls += o.RemoteCalls
+	s.BulkCalls += o.BulkCalls
+	s.ScatterWaves += o.ScatterWaves
+	s.StreamedWaves += o.StreamedWaves
+	s.DeadlineAborts += o.DeadlineAborts
+	s.Compilations += o.Compilations
+}
+
+// StatsSink aggregates evaluation counters across query-local engines: a
+// daemon creates one engine per query (trace threading stays race-free that
+// way), so a process-wide /metrics surface needs somewhere durable for the
+// counters to land once each engine retires. Nil-safe, like Metrics.
+type StatsSink struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+// Add folds one engine's final counters into the sink.
+func (k *StatsSink) Add(o Stats) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	k.s.Add(o)
+	k.mu.Unlock()
+}
+
+// Snapshot returns the accumulated counters.
+func (k *StatsSink) Snapshot() Stats {
+	if k == nil {
+		return Stats{}
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.s
 }
 
 // docEntry is one single-flight slot of the document cache: concurrent
@@ -386,7 +431,9 @@ func (e *Engine) program(q *xq.Query) (*Program, error) {
 	if p, ok := q.CompiledArtifact().(*Program); ok {
 		return p, nil
 	}
+	sp := e.TraceSpan.Child("compile")
 	p, err := CompileQuery(q)
+	sp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,27 @@ type Exchange struct {
 	RespBytes int64
 }
 
+// Timeline is one exchange broken into phase-completion instants, relative
+// to the exchange's start: request delivered to the peer, remote execution
+// finished, response delivered back. The trace figure builds its simulated
+// waterfalls from these instants.
+type Timeline struct {
+	ReqDoneNS  int64
+	ExecDoneNS int64
+	RespDoneNS int64
+}
+
+// Timeline prices an exchange whose remote evaluation takes execNS.
+func (m Model) Timeline(e Exchange, execNS int64) Timeline {
+	req := m.TransferTime(e.ReqBytes).Nanoseconds()
+	exec := req + execNS
+	return Timeline{
+		ReqDoneNS:  req,
+		ExecDoneNS: exec,
+		RespDoneNS: exec + m.TransferTime(e.RespBytes).Nanoseconds(),
+	}
+}
+
 // WaveTime returns the simulated duration of a set of exchanges dispatched
 // concurrently (one scatter-gather wave): overlapped transfers cost the
 // slowest lane — the per-wave maximum — instead of the serial sum, modeling

@@ -29,6 +29,7 @@ import (
 	"distxq/internal/core"
 	"distxq/internal/eval"
 	"distxq/internal/netsim"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 	"distxq/internal/xrpc"
@@ -138,7 +139,7 @@ func (n *Network) transport() xrpc.Transport {
 func (n *Network) AddPeer(name string) *Peer {
 	p := &Peer{Name: name, store: map[string]*xdm.Document{}, net: n}
 	p.Engine = eval.NewEngine(&peerResolver{peer: p})
-	p.Server = &xrpc.Server{Engine: p.Engine}
+	p.Server = &xrpc.Server{Engine: p.Engine, Name: name}
 	n.mu.Lock()
 	p.Server.ChunkItems = n.chunkItems
 	p.Engine.Options.Compile = n.compile
@@ -407,6 +408,17 @@ type Session struct {
 	// caches on the plan's query object, so repeated executions of a cached
 	// plan compile once. Peer-side execution is Network.SetCompile's job.
 	Compile bool
+	// TraceSpan, when active, parents an "execute" span around each query's
+	// evaluation: the engine and the dispatch stack record compile, scatter,
+	// lane, attempt and remote server spans under it, and remote peers'
+	// piggy-backed spans graft in, so one connected cross-peer tree describes
+	// the whole query. A zero SpanRef disables recording at near-zero cost.
+	TraceSpan trace.SpanRef
+	// AggMetrics, when non-nil, accumulates every query's transport metrics
+	// (a daemon points all its sessions here so /metrics sums across queries).
+	AggMetrics *xrpc.Metrics
+	// AggEval, when non-nil, accumulates every query's evaluation counters.
+	AggEval *eval.StatsSink
 	net     *Network
 }
 
@@ -442,6 +454,13 @@ func (s *Session) UseHealth(h *xrpc.HealthTracker) *Session {
 // executor (see Compile) and returns the session for chaining.
 func (s *Session) UseCompile(on bool) *Session {
 	s.Compile = on
+	return s
+}
+
+// UseTrace parents the session's query execution under a trace span (see
+// TraceSpan) and returns the session for chaining.
+func (s *Session) UseTrace(sp trace.SpanRef) *Session {
+	s.TraceSpan = sp
 	return s
 }
 
@@ -497,6 +516,9 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	resolver := &peerResolver{peer: s.Origin, shipStats: ship}
 	engine := eval.NewEngine(resolver)
 	engine.Options.Compile = s.Compile
+	engine.TraceSpan = s.TraceSpan.Child("execute",
+		trace.Str("strategy", plan.Strategy.String()),
+		trace.Bool("streamed", s.Streamed))
 	// Logical documents resolve at the originator by materializing the
 	// union of shards; each shard transfer is accounted as data shipping.
 	for _, m := range s.Shards {
@@ -551,6 +573,7 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 			Context:   queryCtx,
 			Retry:     s.Retry,
 			Health:    s.Health,
+			Trace:     engine.TraceSpan,
 		}
 		switch {
 		case s.SequentialScatter:
@@ -566,6 +589,11 @@ func (s *Session) execPlan(plan *core.Plan) (xdm.Sequence, *Report, error) {
 	t0 := time.Now()
 	res, err := engine.Query(plan.Query)
 	wallNS := time.Since(t0).Nanoseconds()
+	// Retire this query's counters into the session's aggregate sinks before
+	// any return: failed queries still moved bytes and burned evaluations.
+	s.AggMetrics.Add(metrics)
+	s.AggEval.Add(engine.StatsSnapshot())
+	engine.TraceSpan.EndErr(err)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -19,6 +19,7 @@ import (
 	"distxq/internal/core"
 	"distxq/internal/eval"
 	"distxq/internal/peer"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 	"distxq/internal/xrpc"
@@ -58,6 +59,15 @@ type Config struct {
 	// PlanCacheSize bounds the decomposed-plan cache; zero means
 	// DefaultPlanCacheSize.
 	PlanCacheSize int
+	// Trace records a span tree per query — admission, planning (cache
+	// hit/miss), compilation, execution, every dispatch lane and attempt, and
+	// the server-side spans remote peers piggy-back on their responses — and
+	// retains recent and slowest trees in Traces. Off by default; the
+	// disabled path costs a few nil checks per span site.
+	Trace bool
+	// TraceRing bounds the recent-traces ring; zero means
+	// trace.DefaultRingSize.
+	TraceRing int
 }
 
 func (c Config) maxConcurrent() int {
@@ -116,9 +126,17 @@ type Service struct {
 	// hand-written variable-target loops (see peer.Session.Replicas). Set
 	// before serving queries.
 	Replicas map[string][]string
+	// Traces retains recent and slowest query span trees when Config.Trace
+	// is on (nil otherwise) — the store behind xqd's /debug/traces.
+	Traces *trace.Ring
 
 	retry *xrpc.RetryPolicy
 	sem   chan struct{}
+
+	// xmetrics and evalStats aggregate every query's transport metrics and
+	// evaluation counters across the service's lifetime — the /metrics feed.
+	xmetrics  *xrpc.Metrics
+	evalStats *eval.StatsSink
 
 	mu     sync.Mutex
 	shards []core.ShardMap
@@ -133,15 +151,21 @@ type Service struct {
 
 // New creates a service originating queries at origin under one strategy.
 func New(net *peer.Network, origin *peer.Peer, strat core.Strategy, cfg Config) *Service {
-	return &Service{
-		cfg:      cfg,
-		net:      net,
-		origin:   origin,
-		strategy: strat,
-		Health:   xrpc.NewHealthTracker(),
-		sem:      make(chan struct{}, cfg.maxConcurrent()),
-		plans:    newPlanCache(cfg.PlanCacheSize),
+	s := &Service{
+		cfg:       cfg,
+		net:       net,
+		origin:    origin,
+		strategy:  strat,
+		Health:    xrpc.NewHealthTracker(),
+		sem:       make(chan struct{}, cfg.maxConcurrent()),
+		plans:     newPlanCache(cfg.PlanCacheSize),
+		xmetrics:  &xrpc.Metrics{},
+		evalStats: &eval.StatsSink{},
 	}
+	if cfg.Trace {
+		s.Traces = trace.NewRing(cfg.TraceRing)
+	}
+	return s
 }
 
 // UseRetry installs the retry/hedging policy applied to every query.
@@ -206,7 +230,7 @@ func (s *Service) admit(budget core.Budget) (release func(), err error) {
 // same normalized source was planned under the current shard-map epoch. A
 // cached plan's AST is normalized exactly once, before publication, so
 // concurrent executions share it read-only.
-func (s *Service) plan(src string) (*core.Plan, []core.ShardMap, error) {
+func (s *Service) plan(src string, sp trace.SpanRef) (*core.Plan, []core.ShardMap, error) {
 	q, err := xq.ParseQuery(src)
 	if err != nil {
 		return nil, nil, err
@@ -218,9 +242,11 @@ func (s *Service) plan(src string) (*core.Plan, []core.ShardMap, error) {
 	key := fmt.Sprintf("%d|%d|%s", epoch, s.strategy, xq.PrintQuery(q))
 	if p, ok := s.plans.get(key); ok {
 		s.planHits.Add(1)
+		sp.Set(trace.Str("cache", "hit"))
 		return p.plan, shards, nil
 	}
 	s.planMisses.Add(1)
+	sp.Set(trace.Str("cache", "miss"))
 	opts := core.DefaultOptions()
 	opts.Shards = shards
 	if len(shards) > 0 {
@@ -239,7 +265,9 @@ func (s *Service) plan(src string) (*core.Plan, []core.ShardMap, error) {
 		// object, so every execution of this cache entry — including
 		// concurrent ones — shares one lowering, and a new epoch's plan gets
 		// a fresh compilation against the new shard maps.
+		csp := sp.Child("compile")
 		prog, err := eval.CompileQuery(plan.Query)
+		csp.EndErr(err)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -257,34 +285,70 @@ func (s *Service) Query(src string, budget core.Budget) (xdm.Sequence, *peer.Rep
 	if budget.Zero() {
 		budget = s.cfg.DefaultBudget
 	}
+	// The root span covers the whole query; finish ends it and publishes the
+	// tree to the ring whatever the outcome — shed and failed queries are the
+	// ones worth inspecting.
+	var root trace.SpanRef
+	if s.Traces != nil {
+		tr := trace.New(0, s.origin.Name)
+		root = tr.Start(0, "query", trace.Str("strategy", s.strategy.String()))
+	}
+	finish := func(err error) {
+		if !root.Active() {
+			return
+		}
+		root.EndErr(err)
+		s.Traces.Add(root.Trace())
+	}
+	asp := root.Child("admission")
 	release, err := s.admit(budget)
+	asp.EndErr(err)
 	if err != nil {
 		s.shed.Add(1)
+		finish(err)
 		return nil, nil, err
 	}
 	defer release()
 	s.admitted.Add(1)
-	plan, shards, err := s.plan(src)
+	psp := root.Child("plan")
+	plan, shards, err := s.plan(src, psp)
+	psp.EndErr(err)
 	if err != nil {
 		s.failed.Add(1)
+		finish(err)
 		return nil, nil, err
 	}
 	sess := s.net.NewSession(s.origin, s.strategy).
 		UseBudget(budget).
 		UseRetry(s.retry).
 		UseHealth(s.Health).
-		UseCompile(s.cfg.Compile)
+		UseCompile(s.cfg.Compile).
+		UseTrace(root)
 	sess.Streamed = s.cfg.Streamed
 	sess.Shards = shards
 	sess.Replicas = s.Replicas
+	sess.AggMetrics = s.xmetrics
+	sess.AggEval = s.evalStats
 	res, rep, err := sess.ExecutePlan(plan)
 	if err != nil {
 		s.failed.Add(1)
 		if errors.Is(err, xrpc.ErrDeadlineExceeded) {
 			s.deadline.Add(1)
 		}
+		finish(err)
 		return nil, rep, err
 	}
 	s.completed.Add(1)
+	finish(nil)
 	return res, rep, nil
 }
+
+// EvalStats returns the aggregated evaluation counters across every query
+// the service has executed.
+func (s *Service) EvalStats() eval.Stats { return s.evalStats.Snapshot() }
+
+// XRPCMetrics returns the aggregated transport metrics across every query.
+func (s *Service) XRPCMetrics() xrpc.Metrics { return s.xmetrics.Snapshot() }
+
+// PeerHealth returns the shared health tracker's per-peer state.
+func (s *Service) PeerHealth() map[string]xrpc.PeerHealthState { return s.Health.SnapshotAll() }

@@ -1,0 +1,120 @@
+package trace
+
+import "encoding/json"
+
+// This file exports a Recorded trace in the Chrome trace-event format
+// (chrome://tracing, Perfetto's legacy JSON loader): one complete ("X")
+// event per span with microsecond timestamps, processes keyed by peer so
+// server-side spans render as their own track group, and threads keyed so
+// concurrent lane attempts stack instead of overlapping.
+
+// chromeEvent is one trace-event entry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeTraceJSON renders a recorded trace as a Chrome trace-event JSON
+// document. Each distinct span Peer becomes a process (with a process_name
+// metadata record); within a process, spans stack on the thread of their
+// nearest lane/attempt ancestor so hedged attempts of one lane render as
+// parallel tracks instead of overdrawing each other.
+func ChromeTraceJSON(rec *Recorded) ([]byte, error) {
+	pids := map[string]int{}
+	pidOrder := []string{}
+	pid := func(peer string) int {
+		if peer == "" {
+			peer = rec.Peer
+		}
+		if p, ok := pids[peer]; ok {
+			return p
+		}
+		p := len(pids) + 1
+		pids[peer] = p
+		pidOrder = append(pidOrder, peer)
+		return p
+	}
+	byID := map[SpanID]*Span{}
+	for i := range rec.Spans {
+		byID[rec.Spans[i].ID] = &rec.Spans[i]
+	}
+	// Thread assignment: walk ancestors; the nearest "attempt" span keys a
+	// distinct thread (per attempt ordinal), else the nearest "lane" span,
+	// else thread 0. Ordinals are assigned in span-record order, which is
+	// start order, so numbering is deterministic.
+	laneOrd := map[SpanID]int{}
+	attemptOrd := map[SpanID]int{}
+	for i := range rec.Spans {
+		s := &rec.Spans[i]
+		switch s.Name {
+		case "lane":
+			laneOrd[s.ID] = len(laneOrd)
+		case "attempt":
+			attemptOrd[s.ID] = len(attemptOrd)
+		}
+	}
+	tid := func(s *Span) int {
+		for cur := s; cur != nil; cur = byID[cur.Parent] {
+			if o, ok := attemptOrd[cur.ID]; ok {
+				return 200 + o
+			}
+			if o, ok := laneOrd[cur.ID]; ok {
+				return 100 + o
+			}
+			if cur.Parent == 0 {
+				break
+			}
+		}
+		return 0
+	}
+	f := &chromeFile{TraceEvents: []chromeEvent{}}
+	for i := range rec.Spans {
+		s := &rec.Spans[i]
+		args := map[string]any{}
+		for _, a := range s.Attrs {
+			if a.Str != "" {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Int
+			}
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		ev := chromeEvent{
+			Name: s.Name,
+			TS:   float64(s.StartNS) / 1e3,
+			PID:  pid(s.Peer),
+			TID:  tid(s),
+			Args: args,
+		}
+		if s.EndNS > s.StartNS {
+			ev.Ph = "X"
+			ev.Dur = float64(s.EndNS-s.StartNS) / 1e3
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	for _, peer := range pidOrder {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pids[peer],
+			Args: map[string]any{"name": peer},
+		})
+	}
+	return json.MarshalIndent(f, "", "  ")
+}

@@ -1,0 +1,115 @@
+package trace
+
+import "sync"
+
+// Ring is the bounded in-memory store behind /debug/traces: the N most
+// recent traces plus the K slowest ever seen, so a burst of fast queries
+// cannot evict the tail-latency evidence. It stores live *Trace references
+// and snapshots lazily at read time — loser attempts of a hedge race may
+// still be closing their spans when the query returns, and a dump taken
+// later sees the completed tree.
+type Ring struct {
+	mu      sync.Mutex
+	recent  []*Trace
+	next    int
+	filled  bool
+	slowest []slowEntry // sorted by duration, slowest first
+	keep    int
+}
+
+// slowEntry caches the duration seen at Add time, so insertion never has to
+// re-snapshot the held traces — Add sits on every traced query's exit path.
+type slowEntry struct {
+	t *Trace
+	d int64
+}
+
+// DefaultRingSize bounds the recent-trace ring when size is zero.
+const DefaultRingSize = 32
+
+// defaultSlowest bounds the slowest-trace list.
+const defaultSlowest = 8
+
+// NewRing returns a ring keeping the given number of recent traces (zero
+// means DefaultRingSize) plus the 8 slowest.
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Ring{recent: make([]*Trace, size), keep: defaultSlowest}
+}
+
+// Add records a finished query's trace.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	d := t.ExtentNS()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent[r.next] = t
+	r.next = (r.next + 1) % len(r.recent)
+	if r.next == 0 {
+		r.filled = true
+	}
+	// Insert into the slowest list (small, linear is fine).
+	pos := len(r.slowest)
+	for i, s := range r.slowest {
+		if d > s.d {
+			pos = i
+			break
+		}
+	}
+	if pos < r.keep {
+		r.slowest = append(r.slowest, slowEntry{})
+		copy(r.slowest[pos+1:], r.slowest[pos:])
+		r.slowest[pos] = slowEntry{t: t, d: d}
+		if len(r.slowest) > r.keep {
+			r.slowest = r.slowest[:r.keep]
+		}
+	}
+}
+
+// Dump snapshots the ring: recent traces newest-first, then the slowest.
+type Dump struct {
+	Recent  []*Recorded `json:"recent"`
+	Slowest []*Recorded `json:"slowest"`
+}
+
+// Dump returns a point-in-time snapshot of every held trace.
+func (r *Ring) Dump() *Dump {
+	if r == nil {
+		return &Dump{}
+	}
+	r.mu.Lock()
+	var live []*Trace
+	n := len(r.recent)
+	if !r.filled {
+		n = r.next
+	}
+	for i := 1; i <= n; i++ {
+		live = append(live, r.recent[(r.next-i+len(r.recent))%len(r.recent)])
+	}
+	slow := append([]slowEntry(nil), r.slowest...)
+	r.mu.Unlock()
+	d := &Dump{}
+	for _, t := range live {
+		d.Recent = append(d.Recent, t.Snapshot())
+	}
+	for _, s := range slow {
+		d.Slowest = append(d.Slowest, s.t.Snapshot())
+	}
+	return d
+}
+
+// Last returns the most recently added trace, nil when empty — how the
+// figure harness pulls the trace of the query it just ran.
+func (r *Ring) Last() *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := (r.next - 1 + len(r.recent)) % len(r.recent)
+	return r.recent[i]
+}

@@ -1,0 +1,683 @@
+// Package trace implements the per-query distributed tracing model: one
+// Trace per query holding a tree of spans (admission, planning, compile,
+// scatter dispatch, per-lane attempts, stream frames, remote server work),
+// identified by a TraceID that travels on the XRPC wire so remote peers'
+// server-side spans can be stitched back into the originator's tree.
+//
+// The layer's contract: tracing must cost nothing when off. Every
+// instrumentation point holds a SpanRef by value; the zero SpanRef (nil
+// trace) turns Start/End/Set/Event into branch-predictable no-ops, so the
+// hot path pays one nil check per span site — benchmarked in this package.
+// When on, a Trace is safe for concurrent use (scatter lanes and hedged
+// attempts record spans from many goroutines), spans may be annotated after
+// they end (winner/loser tags are only known once the race settles), and
+// every started span must End exactly once — OpenSpans/DoubleEnds expose
+// the leak check the invariant tests enforce.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one query's trace across every peer it touches.
+type TraceID uint64
+
+// SpanID identifies one span within a trace. IDs are allocated locally per
+// Trace; Ingest remaps remote IDs into the local space.
+type SpanID uint64
+
+// Attr is one typed span attribute: a string or an int64 (booleans encode
+// as 0/1 ints). The flat struct keeps span recording allocation-light —
+// no map, no interface boxing.
+type Attr struct {
+	Key string `json:"k"`
+	Str string `json:"s,omitempty"`
+	Int int64  `json:"i,omitempty"`
+}
+
+// Str returns a string attribute.
+func Str(key, val string) Attr { return Attr{Key: key, Str: val} }
+
+// Int returns an integer attribute.
+func Int(key string, val int64) Attr { return Attr{Key: key, Int: val} }
+
+// Bool returns a boolean attribute (encoded as 0/1).
+func Bool(key string, val bool) Attr {
+	var i int64
+	if val {
+		i = 1
+	}
+	return Attr{Key: key, Int: i}
+}
+
+// Span is one recorded operation. Times are nanoseconds relative to the
+// owning Trace's anchor (monotonic on one process; Ingest shifts remote
+// spans into the originator's timeline). EndNS < StartNS means still open.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// Peer names the process that recorded the span; empty means the trace
+	// owner itself.
+	Peer    string `json:"peer,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// DurationNS returns the span's duration, zero while open.
+func (s *Span) DurationNS() int64 {
+	if s.EndNS < s.StartNS {
+		return 0
+	}
+	return s.EndNS - s.StartNS
+}
+
+// Attr returns the value of a named attribute and whether it is present.
+func (s *Span) Attr(key string) (Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Trace is one query's span tree. Safe for concurrent use.
+type Trace struct {
+	id     TraceID
+	peer   string
+	anchor time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	// Span IDs are allocated densely in append order — span id occupies slot
+	// id-1 forever — so completed spans can still be annotated (winner/loser
+	// tags land after the race settles) without an ID-to-slot map.
+	open   int
+	nextID SpanID
+	// doubleEnds counts End calls on already-ended spans — always a bug,
+	// surfaced by the invariant tests instead of silently clobbering times.
+	doubleEnds int
+}
+
+// traceSeq seeds derived trace IDs so two daemons started the same
+// nanosecond still diverge.
+var traceSeq atomic.Uint64
+
+// New creates a trace anchored at the current time. id zero derives a
+// process-unique one.
+func New(id TraceID, peer string) *Trace {
+	return NewAt(id, peer, time.Now())
+}
+
+// NewAt creates a trace with an explicit anchor — servers anchor at request
+// arrival so their spans start near zero on their own timeline.
+func NewAt(id TraceID, peer string, anchor time.Time) *Trace {
+	if id == 0 {
+		id = TraceID(uint64(anchor.UnixNano())<<16 | (traceSeq.Add(1) & 0xffff))
+	}
+	// Pre-size for a typical server-side trace; originator trees grow once
+	// or twice. Span-slice churn is the dominant tracing allocation cost.
+	return &Trace{id: id, peer: peer, anchor: anchor, spans: make([]Span, 0, 8)}
+}
+
+// slot returns the span's index in t.spans, -1 when unknown. Callers hold
+// t.mu. The dense-ID invariant: every allocation path (Start, add, Ingest)
+// takes nextID++ and appends in the same order.
+func (t *Trace) slot(id SpanID) int {
+	i := int(id) - 1
+	if i < 0 || i >= len(t.spans) {
+		return -1
+	}
+	return i
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// now returns nanoseconds since the anchor (monotonic).
+func (t *Trace) now() int64 { return time.Since(t.anchor).Nanoseconds() }
+
+// Start opens a span under parent (zero parent = a root span) and returns
+// its ref. Nil traces return the inert zero ref.
+func (t *Trace) Start(parent SpanID, name string, attrs ...Attr) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	now := t.now()
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Name: name, Peer: t.peer,
+		StartNS: now, EndNS: -1, Attrs: copyAttrs(attrs),
+	})
+	t.open++
+	t.mu.Unlock()
+	return SpanRef{t: t, id: id}
+}
+
+// OpenSpans returns the number of started-but-not-ended spans — zero once a
+// query's trace is fully assembled (the leak check).
+func (t *Trace) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open
+}
+
+// DoubleEnds returns how many spans were ended more than once (always a
+// bug; the invariant tests assert zero).
+func (t *Trace) DoubleEnds() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.doubleEnds
+}
+
+// Recorded is an immutable snapshot of a trace, the unit the ring stores
+// views of and the exporters consume.
+type Recorded struct {
+	ID         TraceID `json:"trace_id"`
+	Peer       string  `json:"peer"`
+	DurationNS int64   `json:"duration_ns"`
+	OpenSpans  int     `json:"open_spans"`
+	Spans      []Span  `json:"spans"`
+}
+
+// Snapshot copies the trace's current state. Duration is the latest span
+// end (or start, for open spans) — the assembled tree's extent.
+func (t *Trace) Snapshot() *Recorded {
+	if t == nil {
+		return &Recorded{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := &Recorded{ID: t.id, Peer: t.peer, OpenSpans: t.open}
+	r.Spans = make([]Span, len(t.spans))
+	copy(r.Spans, t.spans)
+	for i := range r.Spans {
+		r.Spans[i].Attrs = append([]Attr(nil), r.Spans[i].Attrs...)
+		if ns := r.Spans[i].EndNS; ns > r.DurationNS {
+			r.DurationNS = ns
+		}
+		if ns := r.Spans[i].StartNS; ns > r.DurationNS {
+			r.DurationNS = ns
+		}
+	}
+	return r
+}
+
+// ExtentNS returns the trace's current extent — the latest span end (or
+// start, for open spans) — without copying any spans. The ring uses it to
+// order traces by duration without paying a Snapshot per insertion.
+func (t *Trace) ExtentNS() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d int64
+	for i := range t.spans {
+		if ns := t.spans[i].EndNS; ns > d {
+			d = ns
+		}
+		if ns := t.spans[i].StartNS; ns > d {
+			d = ns
+		}
+	}
+	return d
+}
+
+// SpanRef is a value handle to one span of a trace. The zero SpanRef is the
+// disabled recorder: every method is a cheap no-op, so instrumentation
+// points never branch on a separate "tracing on?" flag.
+type SpanRef struct {
+	t  *Trace
+	id SpanID
+}
+
+// Active reports whether the ref records anywhere.
+func (r SpanRef) Active() bool { return r.t != nil }
+
+// TraceID returns the owning trace's ID, zero when inert.
+func (r SpanRef) TraceID() TraceID { return r.t.ID() }
+
+// SpanID returns the span's ID, zero when inert.
+func (r SpanRef) SpanID() SpanID {
+	if r.t == nil {
+		return 0
+	}
+	return r.id
+}
+
+// Trace returns the owning trace (nil when inert).
+func (r SpanRef) Trace() *Trace { return r.t }
+
+// Child opens a span under this one.
+func (r SpanRef) Child(name string, attrs ...Attr) SpanRef {
+	if r.t == nil {
+		return SpanRef{}
+	}
+	return r.t.Start(r.id, name, attrs...)
+}
+
+// End closes the span at the current time. Ending twice is recorded as a
+// bug (DoubleEnds) and leaves the first end time intact.
+func (r SpanRef) End() {
+	if r.t == nil {
+		return
+	}
+	now := r.t.now()
+	r.t.mu.Lock()
+	if i := r.t.slot(r.id); i >= 0 {
+		if r.t.spans[i].EndNS >= r.t.spans[i].StartNS {
+			r.t.doubleEnds++
+		} else {
+			r.t.spans[i].EndNS = now
+			r.t.open--
+		}
+	}
+	r.t.mu.Unlock()
+}
+
+// EndErr closes the span, tagging it with err when non-nil.
+func (r SpanRef) EndErr(err error) {
+	if r.t == nil {
+		return
+	}
+	if err != nil {
+		r.SetError(err)
+	}
+	r.End()
+}
+
+// SetError tags the span with an error without ending it.
+func (r SpanRef) SetError(err error) {
+	if r.t == nil || err == nil {
+		return
+	}
+	msg := err.Error()
+	r.t.mu.Lock()
+	if i := r.t.slot(r.id); i >= 0 {
+		r.t.spans[i].Error = msg
+	}
+	r.t.mu.Unlock()
+}
+
+// Set appends attributes to the span — legal after End, which is how
+// winner/loser and wasted-time tags land once a hedge race settles.
+func (r SpanRef) Set(attrs ...Attr) {
+	if r.t == nil {
+		return
+	}
+	r.t.mu.Lock()
+	if i := r.t.slot(r.id); i >= 0 {
+		r.t.spans[i].Attrs = append(r.t.spans[i].Attrs, attrs...)
+	}
+	r.t.mu.Unlock()
+}
+
+// Event records an instantaneous child span (start == end) — stream frame
+// arrivals use it.
+func (r SpanRef) Event(name string, attrs ...Attr) {
+	if r.t == nil {
+		return
+	}
+	now := r.t.now()
+	r.add(Span{Parent: r.id, Name: name, StartNS: now, EndNS: now, Attrs: attrs})
+}
+
+// Add records a completed child span with explicit times (relative to the
+// trace anchor) — how servers backfill work measured before the trace
+// object existed, and how the simulation builds deterministic trees.
+func (r SpanRef) Add(name string, startNS, endNS int64, attrs ...Attr) SpanRef {
+	if r.t == nil {
+		return SpanRef{}
+	}
+	return r.add(Span{Parent: r.id, Name: name, StartNS: startNS, EndNS: endNS, Attrs: attrs})
+}
+
+// copyAttrs detaches the variadic attr slice so callers' argument slices
+// never escape — the disabled fast path must stay allocation-free. The two
+// spare slots absorb the Set calls that tag spans after the fact (winner
+// marks, lane provenance) without a second allocation.
+func copyAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	return append(make([]Attr, 0, len(attrs)+2), attrs...)
+}
+
+// add records one pre-closed span under the trace.
+func (r SpanRef) add(s Span) SpanRef {
+	t := r.t
+	s.Attrs = copyAttrs(s.Attrs)
+	t.mu.Lock()
+	t.nextID++
+	s.ID = t.nextID
+	if s.Peer == "" {
+		s.Peer = t.peer
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return SpanRef{t: t, id: s.ID}
+}
+
+// StartNS returns the span's recorded start time, -1 when inert.
+func (r SpanRef) StartNS() int64 {
+	if r.t == nil {
+		return -1
+	}
+	r.t.mu.Lock()
+	defer r.t.mu.Unlock()
+	if i := r.t.slot(r.id); i >= 0 {
+		return r.t.spans[i].StartNS
+	}
+	return -1
+}
+
+// Ingest grafts remote spans under this span: every remote ID is remapped
+// into the local space (preserving the remote tree's internal parentage),
+// remote roots — spans whose parent is not among the ingested set — are
+// reparented to this span, and all times shift by offsetNS, mapping the
+// remote anchor onto the local timeline. Open remote spans ingest as
+// zero-duration at their start (a peer that died mid-span cannot report an
+// end).
+func (r SpanRef) Ingest(spans []Span, offsetNS int64) {
+	if r.t == nil || len(spans) == 0 {
+		return
+	}
+	t := r.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if need := len(t.spans) + len(spans); cap(t.spans) < need {
+		grown := make([]Span, len(t.spans), need)
+		copy(grown, t.spans)
+		t.spans = grown
+	}
+	// Remote IDs are almost always dense 1..n in order (the remote side
+	// allocates them that way); the fast path remaps by offset alone.
+	base := t.nextID
+	dense := true
+	for i, s := range spans {
+		if s.ID != SpanID(i+1) {
+			dense = false
+			break
+		}
+	}
+	var remote map[SpanID]SpanID
+	if !dense {
+		remote = make(map[SpanID]SpanID, len(spans))
+		for _, s := range spans {
+			t.nextID++
+			remote[s.ID] = t.nextID
+		}
+	} else {
+		t.nextID += SpanID(len(spans))
+	}
+	mapID := func(id SpanID) (SpanID, bool) {
+		if dense {
+			if id >= 1 && id <= SpanID(len(spans)) {
+				return base + id, true
+			}
+			return 0, false
+		}
+		p, ok := remote[id]
+		return p, ok
+	}
+	for _, s := range spans {
+		ns := s
+		ns.ID, _ = mapID(s.ID)
+		if p, ok := mapID(s.Parent); ok {
+			ns.Parent = p
+		} else {
+			ns.Parent = r.id
+		}
+		ns.StartNS += offsetNS
+		if ns.EndNS < s.StartNS { // still open on the remote side
+			ns.EndNS = ns.StartNS
+		} else {
+			ns.EndNS += offsetNS
+		}
+		t.spans = append(t.spans, ns)
+	}
+}
+
+// IngestRemote is Ingest with the clock-offset policy applied: the remote
+// spans (anchored at the peer's request arrival) are centered inside this
+// span's elapsed window — offset = start + (elapsed - remoteExtent)/2,
+// clamped to the span's start — splitting the network time symmetrically
+// around the server work, which is the best a one-exchange estimate can do
+// without clock synchronization.
+func (r SpanRef) IngestRemote(spans []Span) {
+	if r.t == nil || len(spans) == 0 {
+		return
+	}
+	var extent int64
+	for _, s := range spans {
+		if s.EndNS > extent {
+			extent = s.EndNS
+		}
+	}
+	start := r.StartNS()
+	if start < 0 {
+		start = 0
+	}
+	offset := start
+	if slack := r.t.now() - start - extent; slack > 0 {
+		offset += slack / 2
+	}
+	r.Ingest(spans, offset)
+}
+
+// bareToken reports whether s can travel unquoted: nonempty, no spaces, no
+// quoting metacharacters, no control bytes. Span names, peer names, and attr
+// keys virtually always qualify, which keeps the payload small — every quote
+// the wire avoids is six bytes of &quot; after XML escaping.
+func bareToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '\\' || c == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// appendString appends s as a bare token when possible, Go-quoted otherwise.
+// The empty string — most Error fields, every int attr's Str — encodes as
+// the one-byte sentinel '-' (a literal "-" falls back to quoting).
+func appendString(buf []byte, s string) []byte {
+	if s == "" {
+		return append(buf, '-')
+	}
+	if s != "-" && bareToken(s) {
+		return append(buf, s...)
+	}
+	return strconv.AppendQuote(buf, s)
+}
+
+// EncodeSpans renders spans in a compact line format for wire piggybacking:
+// one span per line of space-separated fields, strings bare when safe and
+// Go-quoted otherwise. The format is hand-rolled because it sits on every
+// traced response's hot path — reflection-based JSON decoding alone cost
+// more than all other span bookkeeping of a scatter query combined.
+func EncodeSpans(spans []Span) ([]byte, error) {
+	buf := append(make([]byte, 0, 64*len(spans)+8), "v1\n"...)
+	for i := range spans {
+		s := &spans[i]
+		buf = strconv.AppendUint(buf, uint64(s.ID), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, uint64(s.Parent), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, s.StartNS, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, s.EndNS, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(len(s.Attrs)), 10)
+		buf = append(buf, ' ')
+		buf = appendString(buf, s.Name)
+		buf = append(buf, ' ')
+		buf = appendString(buf, s.Peer)
+		buf = append(buf, ' ')
+		buf = appendString(buf, s.Error)
+		for _, a := range s.Attrs {
+			buf = append(buf, ' ')
+			buf = appendString(buf, a.Key)
+			buf = append(buf, ' ')
+			buf = appendString(buf, a.Str)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, a.Int, 10)
+		}
+		buf = append(buf, '\n')
+	}
+	return buf, nil
+}
+
+// spanScanner walks one EncodeSpans payload field by field.
+type spanScanner struct{ rest string }
+
+func (sc *spanScanner) skipSpace() {
+	for len(sc.rest) > 0 && (sc.rest[0] == ' ' || sc.rest[0] == '\n') {
+		sc.rest = sc.rest[1:]
+	}
+}
+
+func (sc *spanScanner) intField() (int64, error) {
+	sc.skipSpace()
+	i := 0
+	for i < len(sc.rest) && sc.rest[i] != ' ' && sc.rest[i] != '\n' {
+		i++
+	}
+	v, err := strconv.ParseInt(sc.rest[:i], 10, 64)
+	sc.rest = sc.rest[i:]
+	return v, err
+}
+
+func (sc *spanScanner) strField() (string, error) {
+	sc.skipSpace()
+	if len(sc.rest) > 0 && sc.rest[0] == '"' {
+		q, err := strconv.QuotedPrefix(sc.rest)
+		if err != nil {
+			return "", err
+		}
+		sc.rest = sc.rest[len(q):]
+		return strconv.Unquote(q)
+	}
+	i := 0
+	for i < len(sc.rest) && sc.rest[i] != ' ' && sc.rest[i] != '\n' {
+		i++
+	}
+	if i == 0 {
+		return "", fmt.Errorf("missing string field")
+	}
+	tok := sc.rest[:i]
+	sc.rest = sc.rest[i:]
+	if tok == "-" {
+		return "", nil
+	}
+	return tok, nil
+}
+
+// DecodeSpans parses EncodeSpans output.
+func DecodeSpans(data []byte) ([]Span, error) {
+	const header = "v1\n"
+	s := string(data)
+	if len(s) < len(header) || s[:len(header)] != header {
+		return nil, fmt.Errorf("trace: unknown span encoding")
+	}
+	sc := &spanScanner{rest: s[len(header):]}
+	lines := 0
+	for i := 0; i < len(sc.rest); i++ {
+		if sc.rest[i] == '\n' {
+			lines++
+		}
+	}
+	spans := make([]Span, 0, lines)
+	for sc.skipSpace(); len(sc.rest) > 0; sc.skipSpace() {
+		var sp Span
+		var nattrs int64
+		var err error
+		var id, parent int64
+		if id, err = sc.intField(); err == nil {
+			sp.ID = SpanID(id)
+			if parent, err = sc.intField(); err == nil {
+				sp.Parent = SpanID(parent)
+			}
+		}
+		if err == nil {
+			sp.StartNS, err = sc.intField()
+		}
+		if err == nil {
+			sp.EndNS, err = sc.intField()
+		}
+		if err == nil {
+			nattrs, err = sc.intField()
+		}
+		if err == nil {
+			sp.Name, err = sc.strField()
+		}
+		if err == nil {
+			sp.Peer, err = sc.strField()
+		}
+		if err == nil {
+			sp.Error, err = sc.strField()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad span encoding: %w", err)
+		}
+		if nattrs < 0 || nattrs > int64(len(sc.rest)) {
+			return nil, fmt.Errorf("trace: bad span attr count %d", nattrs)
+		}
+		if nattrs > 0 {
+			sp.Attrs = make([]Attr, 0, nattrs)
+		}
+		for j := int64(0); j < nattrs; j++ {
+			var a Attr
+			if a.Key, err = sc.strField(); err == nil {
+				if a.Str, err = sc.strField(); err == nil {
+					a.Int, err = sc.intField()
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad span attr encoding: %w", err)
+			}
+			sp.Attrs = append(sp.Attrs, a)
+		}
+		spans = append(spans, sp)
+	}
+	return spans, nil
+}
+
+// ExportSpans snapshots the trace's spans for piggybacking on a response.
+// Unlike Snapshot it shares the attr slices with the live trace — callers
+// must be done annotating (a server exports only after ending its root).
+func (t *Trace) ExportSpans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}

@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanLifecycle covers the basic start/end bookkeeping: open counts
+// fall to zero, parentage records, attributes land, and post-End Set still
+// annotates (the winner-tag path).
+func TestSpanLifecycle(t *testing.T) {
+	tr := New(0, "origin")
+	if tr.ID() == 0 {
+		t.Fatal("derived trace ID is zero")
+	}
+	root := tr.Start(0, "query", Int("budget_ns", 5))
+	child := root.Child("plan", Str("cache", "miss"))
+	if tr.OpenSpans() != 2 {
+		t.Fatalf("open = %d, want 2", tr.OpenSpans())
+	}
+	child.End()
+	child.Set(Bool("winner", true)) // post-end annotation must land
+	root.EndErr(errors.New("boom"))
+	if tr.OpenSpans() != 0 {
+		t.Fatalf("open = %d, want 0", tr.OpenSpans())
+	}
+	rec := tr.Snapshot()
+	if len(rec.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(rec.Spans))
+	}
+	q, p := rec.Spans[0], rec.Spans[1]
+	if q.Name != "query" || p.Name != "plan" || p.Parent != q.ID {
+		t.Fatalf("tree wrong: %+v", rec.Spans)
+	}
+	if q.Error != "boom" {
+		t.Fatalf("root error = %q", q.Error)
+	}
+	if a, ok := p.Attr("winner"); !ok || a.Int != 1 {
+		t.Fatalf("post-end Set lost: %+v", p.Attrs)
+	}
+	if p.EndNS < p.StartNS || q.EndNS < p.EndNS {
+		t.Fatalf("times not monotone: %+v", rec.Spans)
+	}
+}
+
+// TestDoubleEndDetected: ending a span twice is recorded as a bug and does
+// not clobber the first end time or the open count.
+func TestDoubleEndDetected(t *testing.T) {
+	tr := New(7, "x")
+	s := tr.Start(0, "a")
+	s.End()
+	end1 := tr.Snapshot().Spans[0].EndNS
+	s.End()
+	if tr.DoubleEnds() != 1 {
+		t.Fatalf("doubleEnds = %d, want 1", tr.DoubleEnds())
+	}
+	if tr.OpenSpans() != 0 {
+		t.Fatalf("open = %d after double end", tr.OpenSpans())
+	}
+	if got := tr.Snapshot().Spans[0].EndNS; got != end1 {
+		t.Fatalf("second End moved the end time: %d -> %d", end1, got)
+	}
+}
+
+// TestNilFastPath: the zero SpanRef and nil Trace are inert through every
+// method — the disabled-tracing contract.
+func TestNilFastPath(t *testing.T) {
+	var r SpanRef
+	if r.Active() {
+		t.Fatal("zero SpanRef claims active")
+	}
+	c := r.Child("x", Int("i", 1))
+	c.End()
+	c.EndErr(errors.New("e"))
+	c.Set(Str("k", "v"))
+	c.SetError(errors.New("e"))
+	c.Event("ev")
+	c.Add("a", 0, 1)
+	c.Ingest([]Span{{ID: 1, Name: "s"}}, 0)
+	c.IngestRemote([]Span{{ID: 1, Name: "s"}})
+	if c.TraceID() != 0 || c.SpanID() != 0 || c.Trace() != nil || c.StartNS() != -1 {
+		t.Fatal("zero SpanRef leaked state")
+	}
+	var tr *Trace
+	if tr.ID() != 0 || tr.OpenSpans() != 0 || tr.ExportSpans() != nil {
+		t.Fatal("nil Trace leaked state")
+	}
+	if s := tr.Start(0, "x"); s.Active() {
+		t.Fatal("nil Trace started a live span")
+	}
+}
+
+// TestIngestRemapsAndReparents: remote spans keep their internal tree shape
+// under fresh local IDs, remote roots hang off the ingesting span, and
+// times shift by the offset. An open remote span ingests as zero-duration.
+func TestIngestRemapsAndReparents(t *testing.T) {
+	tr := New(1, "origin")
+	attempt := tr.Start(0, "attempt")
+	remote := []Span{
+		{ID: 1, Parent: 0, Name: "serve", Peer: "peer1", StartNS: 0, EndNS: 100},
+		{ID: 2, Parent: 1, Name: "call", Peer: "peer1", StartNS: 10, EndNS: 90},
+		{ID: 3, Parent: 1, Name: "hung", Peer: "peer1", StartNS: 50, EndNS: -1},
+	}
+	attempt.Ingest(remote, 1000)
+	rec := tr.Snapshot()
+	if len(rec.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(rec.Spans))
+	}
+	var serve, call, hung *Span
+	for i := range rec.Spans {
+		switch rec.Spans[i].Name {
+		case "serve":
+			serve = &rec.Spans[i]
+		case "call":
+			call = &rec.Spans[i]
+		case "hung":
+			hung = &rec.Spans[i]
+		}
+	}
+	if serve.Parent != attempt.SpanID() {
+		t.Fatalf("remote root not reparented: %+v", serve)
+	}
+	if call.Parent != serve.ID {
+		t.Fatalf("internal parentage lost: call.Parent=%d serve.ID=%d", call.Parent, serve.ID)
+	}
+	if serve.StartNS != 1000 || serve.EndNS != 1100 || call.StartNS != 1010 {
+		t.Fatalf("offset not applied: %+v %+v", serve, call)
+	}
+	if hung.EndNS != hung.StartNS {
+		t.Fatalf("open remote span should ingest zero-duration: %+v", hung)
+	}
+	// Remapping must keep every span ID unique in the local space.
+	seen := map[SpanID]bool{}
+	for _, s := range rec.Spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID after ingest: %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// TestIngestRemoteCentersOffset: remote spans land inside the attempt's
+// window, never before the attempt started.
+func TestIngestRemoteCentersOffset(t *testing.T) {
+	tr := New(1, "origin")
+	attempt := tr.Start(0, "attempt")
+	time.Sleep(2 * time.Millisecond)
+	attempt.IngestRemote([]Span{{ID: 1, Name: "serve", Peer: "p", StartNS: 0, EndNS: 1000}})
+	attempt.End()
+	rec := tr.Snapshot()
+	var serve, att *Span
+	for i := range rec.Spans {
+		if rec.Spans[i].Name == "serve" {
+			serve = &rec.Spans[i]
+		}
+		if rec.Spans[i].Name == "attempt" {
+			att = &rec.Spans[i]
+		}
+	}
+	if serve.StartNS < att.StartNS {
+		t.Fatalf("remote span starts before the attempt: %d < %d", serve.StartNS, att.StartNS)
+	}
+	if serve.EndNS > att.EndNS {
+		t.Fatalf("remote span ends after the attempt: %d > %d", serve.EndNS, att.EndNS)
+	}
+}
+
+// TestEncodeDecodeSpans round-trips the wire encoding.
+func TestEncodeDecodeSpans(t *testing.T) {
+	in := []Span{
+		{ID: 1, Name: "serve", Peer: "p1", StartNS: 5, EndNS: 10,
+			Attrs: []Attr{Str("method", "f1"), Int("calls", 3), Bool("ok", true)}},
+		{ID: 2, Parent: 1, Name: "call", StartNS: 6, EndNS: 9, Error: "nope"},
+	}
+	data, err := EncodeSpans(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "serve" || out[1].Error != "nope" {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	if a, ok := out[0].Attr("calls"); !ok || a.Int != 3 {
+		t.Fatalf("attrs lost: %+v", out[0].Attrs)
+	}
+}
+
+// TestConcurrentRecording hammers one trace from many goroutines — the
+// pattern of a hedged scatter — and checks the books balance (run with
+// -race in CI).
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(0, "origin")
+	root := tr.Start(0, "query")
+	var wg sync.WaitGroup
+	const lanes, attempts = 8, 4
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			lane := root.Child("lane", Int("l", int64(l)))
+			var aw sync.WaitGroup
+			for a := 0; a < attempts; a++ {
+				aw.Add(1)
+				go func(a int) {
+					defer aw.Done()
+					sp := lane.Child("attempt", Int("a", int64(a)))
+					sp.Event("frame", Int("bytes", 10))
+					sp.EndErr(nil)
+					sp.Set(Bool("winner", a == 0))
+				}(a)
+			}
+			aw.Wait()
+			lane.End()
+		}(l)
+	}
+	wg.Wait()
+	root.End()
+	if tr.OpenSpans() != 0 || tr.DoubleEnds() != 0 {
+		t.Fatalf("open=%d doubleEnds=%d", tr.OpenSpans(), tr.DoubleEnds())
+	}
+	rec := tr.Snapshot()
+	want := 1 + lanes + lanes*attempts*2 // root + lanes + (attempt+frame) each
+	if len(rec.Spans) != want {
+		t.Fatalf("spans = %d, want %d", len(rec.Spans), want)
+	}
+}
+
+// TestRing: recency order, slowest retention, and Last.
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	mk := func(id TraceID, d int64) *Trace {
+		tr := New(id, "x")
+		root := tr.Start(0, "query")
+		root.Add("work", 0, d)
+		root.End()
+		return tr
+	}
+	slow := mk(99, 1_000_000_000)
+	r.Add(slow)
+	for i := 1; i <= 5; i++ {
+		r.Add(mk(TraceID(i), int64(i)))
+	}
+	d := r.Dump()
+	if len(d.Recent) != 3 {
+		t.Fatalf("recent = %d, want 3", len(d.Recent))
+	}
+	if d.Recent[0].ID != 5 || d.Recent[1].ID != 4 || d.Recent[2].ID != 3 {
+		t.Fatalf("recent order wrong: %v %v %v", d.Recent[0].ID, d.Recent[1].ID, d.Recent[2].ID)
+	}
+	if len(d.Slowest) == 0 || d.Slowest[0].ID != 99 {
+		t.Fatalf("slowest trace evicted: %+v", d.Slowest)
+	}
+	if r.Last().ID() != 5 {
+		t.Fatalf("Last = %v, want 5", r.Last().ID())
+	}
+}
+
+// TestChromeExport: the exporter's output is valid JSON in the trace-event
+// shape — every span becomes an event, peers become processes, and hedged
+// attempts land on distinct threads.
+func TestChromeExport(t *testing.T) {
+	tr := New(42, "origin")
+	root := tr.Start(0, "query")
+	lane := root.Child("lane")
+	a0 := lane.Child("attempt")
+	a0.Ingest([]Span{{ID: 1, Name: "serve", Peer: "peer1", StartNS: 0, EndNS: 50}}, 10)
+	a0.End()
+	a1 := lane.Child("attempt")
+	a1.Event("frame", Int("bytes", 128))
+	a1.End()
+	lane.End()
+	root.End()
+	data, err := ChromeTraceJSON(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	pids := map[int]bool{}
+	tids := map[string][]int{}
+	var metaNames []string
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			metaNames = append(metaNames, ev.Args["name"].(string))
+			continue
+		}
+		if ev.Ph != "X" && ev.Ph != "i" {
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		pids[ev.PID] = true
+		tids[ev.Name] = append(tids[ev.Name], ev.TID)
+	}
+	if len(pids) != 2 {
+		t.Fatalf("want 2 processes (origin + peer1), got %d", len(pids))
+	}
+	if len(metaNames) != 2 {
+		t.Fatalf("want 2 process_name records, got %v", metaNames)
+	}
+	if a := tids["attempt"]; len(a) != 2 || a[0] == a[1] {
+		t.Fatalf("attempts share a thread: %v", a)
+	}
+}
+
+// BenchmarkSpanDisabled measures the nil-recorder fast path: the cost
+// tracing adds to an instrumented call site when tracing is off. This is
+// the near-zero-cost contract — a handful of nil checks, no allocation.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var root SpanRef
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("lane", Str("target", "p"))
+		sp.Set(Bool("winner", true))
+		sp.EndErr(nil)
+	}
+}
+
+// BenchmarkSpanEnabled is the same site with a live trace, for the
+// overhead table in DESIGN.md.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(0, "bench")
+	root := tr.Start(0, "query")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("lane", Str("target", "p"))
+		sp.Set(Bool("winner", true))
+		sp.EndErr(nil)
+	}
+}

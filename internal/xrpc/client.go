@@ -10,6 +10,7 @@ import (
 
 	"distxq/internal/eval"
 	"distxq/internal/projection"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 )
@@ -69,27 +70,31 @@ type Metrics struct {
 	Waves [][]Lane
 }
 
-// Add accumulates another metrics snapshot.
+// Add accumulates another metrics snapshot. The source is snapshotted under
+// its own lock first — most callers pass fresh locals, but nothing stops a
+// shared accumulator from being added into another while it is still being
+// written (the session-aggregate path does exactly that), and reading its
+// fields bare would tear under the race detector.
 func (m *Metrics) Add(o *Metrics) {
-	if m == nil || o == nil {
+	if m == nil || o == nil || m == o {
 		return
 	}
+	snap := o.Snapshot()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.Requests += o.Requests
-	m.BytesSent += o.BytesSent
-	m.BytesReceived += o.BytesReceived
-	m.SerializeNS += o.SerializeNS
-	m.DeserializeNS += o.DeserializeNS
-	m.RemoteExecNS += o.RemoteExecNS
-	m.ServerSerdeNS += o.ServerSerdeNS
-	m.RoundTripWall += o.RoundTripWall
-	if o.PeakBufferedItems > m.PeakBufferedItems {
-		m.PeakBufferedItems = o.PeakBufferedItems
+	m.Requests += snap.Requests
+	m.BytesSent += snap.BytesSent
+	m.BytesReceived += snap.BytesReceived
+	m.SerializeNS += snap.SerializeNS
+	m.DeserializeNS += snap.DeserializeNS
+	m.RemoteExecNS += snap.RemoteExecNS
+	m.ServerSerdeNS += snap.ServerSerdeNS
+	m.RoundTripWall += snap.RoundTripWall
+	if snap.PeakBufferedItems > m.PeakBufferedItems {
+		m.PeakBufferedItems = snap.PeakBufferedItems
 	}
-	for _, w := range o.Waves {
-		m.Waves = append(m.Waves, append([]Lane(nil), w...))
-	}
+	// Snapshot already deep-copied the waves.
+	m.Waves = append(m.Waves, snap.Waves...)
 }
 
 // AddWave records one dispatch wave of overlapped exchanges.
@@ -175,6 +180,12 @@ type Client struct {
 	// replica spreading (Retry.SpreadReplicas) ranks lanes' initial targets
 	// by health instead of blind rotation.
 	Health *HealthTracker
+	// Trace, when active, is the span every dispatch records under: scatter
+	// spans, per-lane spans, and per-attempt spans (winner/loser tagged) hang
+	// off it, attempt identity travels on the wire, and remote server-side
+	// spans are grafted back in. The zero value disables tracing at the cost
+	// of a nil check per span site.
+	Trace trace.SpanRef
 
 	// laneSeq numbers dispatched lanes for replica-spread rotation.
 	laneSeq atomic.Uint64
@@ -230,12 +241,36 @@ func (c *Client) CallRemote(target string, x *xq.XRPCExpr, params []xdm.Sequence
 	return results[0], nil
 }
 
+// laneSpan opens the span one scatter lane records under.
+func laneSpan(parent trace.SpanRef, target string) trace.SpanRef {
+	return parent.Child("lane", trace.Str("target", target))
+}
+
+// finishLane closes a lane span with its fault-tolerance provenance: the
+// winning peer and replica index, retry/hedge counts, and the wall time
+// burned by losing attempts.
+func finishLane(sp trace.SpanRef, lane Lane, err error) {
+	if !sp.Active() {
+		return
+	}
+	if err == nil {
+		sp.Set(trace.Str("winner-peer", lane.Peer),
+			trace.Int("replica", int64(lane.Replica)),
+			trace.Int("retries", int64(lane.Retries)),
+			trace.Int("hedges", int64(lane.Hedges)),
+			trace.Int("wasted_ns", lane.WastedNS))
+	}
+	sp.EndErr(err)
+}
+
 // CallRemoteBulk implements Bulk RPC: all iterations travel in one message.
 // Under a RetryPolicy with MaxAttempts > 1 a failed exchange is re-issued to
 // the same target (sequential dispatch carries no replica set — scatter
 // batches do).
 func (c *Client) CallRemoteBulk(target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, error) {
-	results, lane, err := c.callLane(c.baseContext(), x, eval.ScatterBatch{Target: target, Iterations: iterations})
+	lsp := laneSpan(c.Trace, target)
+	results, lane, err := c.callLane(c.baseContext(), x, eval.ScatterBatch{Target: target, Iterations: iterations}, lsp)
+	finishLane(lsp, lane, err)
 	if err != nil {
 		return nil, err
 	}
@@ -274,6 +309,8 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 	base := c.baseContext()
 	ctx, cancel := context.WithCancel(base)
 	defer cancel()
+	ssp := c.Trace.Child("scatter", trace.Int("lanes", int64(len(batches))))
+	defer ssp.End()
 	sem := make(chan struct{}, width)
 	var wg sync.WaitGroup
 	for i := range batches {
@@ -288,7 +325,9 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 				errs[i] = budgetFailure(base, err, batches[i].Target, time.Now())
 				return
 			}
-			results[i], lanes[i], errs[i] = c.callLane(ctx, x, batches[i])
+			lsp := laneSpan(ssp, batches[i].Target)
+			results[i], lanes[i], errs[i] = c.callLane(ctx, x, batches[i], lsp)
+			finishLane(lsp, lanes[i], errs[i])
 			if errs[i] != nil {
 				cancel()
 			}
@@ -318,8 +357,10 @@ func (c *Client) CallRemoteScatter(x *xq.XRPCExpr, batches []eval.ScatterBatch) 
 // marshalCall builds and serializes the request message of one Bulk RPC.
 // When ctx carries a deadline, the remaining budget is stamped into the
 // request (relative nanoseconds, see Request.BudgetNS); an already-spent
-// budget fails the attempt before any bytes move.
-func (c *Client) marshalCall(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) (data []byte, serNS int64, err error) {
+// budget fails the attempt before any bytes move. sp, when active, stamps
+// the attempt's trace identity into the request so the server records and
+// returns its own spans.
+func (c *Client) marshalCall(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, sp trace.SpanRef) (data []byte, serNS int64, err error) {
 	if containsRemote(x.Body) {
 		return nil, 0, fmt.Errorf("xrpc: shipped function body contains a nested execute-at; " +
 			"the decomposer never generates these (fcn0 stays local)")
@@ -342,6 +383,10 @@ func (c *Client) marshalCall(ctx context.Context, target string, x *xq.XRPCExpr,
 			return nil, 0, &DeadlineError{Peer: target}
 		}
 		req.BudgetNS = remaining.Nanoseconds()
+	}
+	if sp.Active() {
+		req.TraceID = uint64(sp.TraceID())
+		req.TraceSpan = uint64(sp.SpanID())
 	}
 	var paramU, paramR []projection.PathSet
 	if c.Semantics == ByProjection {
@@ -379,10 +424,13 @@ func roundTrip(ctx context.Context, t Transport, peer string, request []byte) ([
 	return t.RoundTrip(peer, request)
 }
 
-func (c *Client) callBulkCtx(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence) ([]xdm.Sequence, Lane, error) {
-	data, serNS, err := c.marshalCall(ctx, target, x, iterations)
+func (c *Client) callBulkCtx(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, sp trace.SpanRef) ([]xdm.Sequence, Lane, error) {
+	data, serNS, err := c.marshalCall(ctx, target, x, iterations, sp)
 	if err != nil {
 		return nil, Lane{}, err
+	}
+	if sp.Active() {
+		ctx = withTraceInfo(ctx, uint64(sp.TraceID()), uint64(sp.SpanID()))
 	}
 	t1 := time.Now()
 	respData, err := roundTrip(ctx, c.Transport, target, data)
@@ -394,10 +442,17 @@ func (c *Client) callBulkCtx(ctx context.Context, target string, x *xq.XRPCExpr,
 	t2 := time.Now()
 	resp, err := ParseResponse(respData)
 	if err != nil {
+		// A faulting server still reports the spans of the work it did before
+		// failing; graft them in so failed attempts have server-side detail.
+		var f *Fault
+		if errors.As(err, &f) && len(f.Spans) > 0 {
+			sp.IngestRemote(f.Spans)
+		}
 		c.observe(target, wallNS, err)
 		return nil, Lane{}, err
 	}
 	c.observe(target, wallNS, nil)
+	sp.IngestRemote(resp.Spans)
 	deserNS := time.Since(t2).Nanoseconds()
 	if len(resp.Results) != len(iterations) {
 		return nil, Lane{}, fmt.Errorf("xrpc: response carries %d results for %d calls",

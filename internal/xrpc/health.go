@@ -229,6 +229,64 @@ func (h *HealthTracker) HedgeAfter(peer string) (time.Duration, bool) {
 	return d, true
 }
 
+// PeerHealthState is one peer's tracker state at snapshot time — what the
+// daemon's /stats and /metrics surfaces expose so adaptive-hedging decisions
+// can be audited from outside.
+type PeerHealthState struct {
+	// EWMANS is the smoothed exchange latency in nanoseconds.
+	EWMANS int64 `json:"ewma_ns"`
+	// FreshP90NS is the P90 over fresh samples (the adaptive hedge trigger),
+	// zero below the fresh-sample floor.
+	FreshP90NS int64 `json:"fresh_p90_ns"`
+	// FreshSamples counts non-stale latency samples in the window.
+	FreshSamples int `json:"fresh_samples"`
+	// Seen counts successful exchanges ever observed.
+	Seen int `json:"seen"`
+	// Faults is the current consecutive-failure streak.
+	Faults int `json:"faults"`
+	// AgeNS is the time since the last observation of any kind.
+	AgeNS int64 `json:"age_ns"`
+}
+
+// SnapshotAll returns every tracked peer's state, keyed by peer name.
+func (h *HealthTracker) SnapshotAll() map[string]PeerHealthState {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.peers))
+	for name := range h.peers {
+		names = append(names, name)
+	}
+	now := h.timeNow()
+	out := make(map[string]PeerHealthState, len(names))
+	for _, name := range names {
+		p := h.peers[name]
+		st := PeerHealthState{
+			EWMANS: int64(p.ewmaNS),
+			Seen:   p.seen,
+			Faults: p.faults,
+		}
+		if !p.lastObs.IsZero() {
+			st.AgeNS = now.Sub(p.lastObs).Nanoseconds()
+		}
+		st.FreshSamples = len(h.freshLocked(p))
+		out[name] = st
+	}
+	h.mu.Unlock()
+	// Quantile re-locks per peer; fill the P90 after releasing the lock.
+	for _, name := range names {
+		st := out[name]
+		if st.FreshSamples >= h.minSamples() {
+			if d, ok := h.Quantile(name, 0.9); ok {
+				st.FreshP90NS = d.Nanoseconds()
+				out[name] = st
+			}
+		}
+	}
+	return out
+}
+
 // Rank orders a lane's target rotation for dispatch: the healthy targets —
 // no fault streak, EWMA within healthSlowFactor of the best (unknown peers
 // count as healthy; they deserve traffic to get measured) — rotated by seq

@@ -96,6 +96,7 @@ func (t *HTTPTransport) RoundTripContext(ctx context.Context, peer string, reque
 	}
 	req.Header.Set("Content-Type", "application/soap+xml")
 	setBudgetHeader(req, ctx)
+	setTraceHeader(req, ctx)
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("xrpc: POST to %s: %w", peer, err)
@@ -124,6 +125,7 @@ func (t *HTTPTransport) RoundTripStream(ctx context.Context, peer string, reques
 	}
 	req.Header.Set("Content-Type", "application/soap+xml")
 	setBudgetHeader(req, ctx)
+	setTraceHeader(req, ctx)
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("xrpc: POST to %s: %w", peer, err)

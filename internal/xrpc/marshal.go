@@ -7,6 +7,7 @@ import (
 
 	"distxq/internal/eval"
 	"distxq/internal/projection"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 )
 
@@ -46,6 +47,9 @@ func MarshalRequest(r *Request, paramUsed, paramReturned []projection.PathSet, o
 		escapeAttr(r.Static.CurrentDateTime))
 	if r.BudgetNS > 0 {
 		fmt.Fprintf(&sb, ` budget-ns="%d"`, r.BudgetNS)
+	}
+	if r.TraceID != 0 {
+		fmt.Fprintf(&sb, ` trace-id="%d" span-id="%d"`, r.TraceID, r.TraceSpan)
 	}
 	sb.WriteString(">")
 	fmt.Fprintf(&sb, "<%s>%s</%s>", elModule, escapeText(r.Module), elModule)
@@ -97,6 +101,8 @@ func ParseRequest(data []byte) (*Request, error) {
 		CurrentDateTime:  attrOr(reqEl, "datetime", ""),
 	}
 	r.BudgetNS, _ = strconv.ParseInt(attrOr(reqEl, "budget-ns", "0"), 10, 64)
+	r.TraceID, _ = strconv.ParseUint(attrOr(reqEl, "trace-id", "0"), 10, 64)
+	r.TraceSpan, _ = strconv.ParseUint(attrOr(reqEl, "span-id", "0"), 10, 64)
 	if m := findChild(reqEl, elModule); m != nil {
 		r.Module = m.StringValue()
 	}
@@ -167,6 +173,7 @@ func MarshalResponse(resp *Response, resultUsed, resultReturned projection.PathS
 	fmt.Fprintf(&sb, "<%s>", elBody)
 	fmt.Fprintf(&sb, `<%s semantics="%s" exec-ns="%d" serde-ns="%d">`,
 		elResponse, resp.Semantics, resp.ExecNanos, resp.SerializeNanos)
+	writeTraceEl(&sb, resp.Spans)
 	st.writeFragments(&sb)
 	for _, res := range resp.Results {
 		fmt.Fprintf(&sb, "<%s>", elCall)
@@ -196,6 +203,7 @@ func ParseResponse(data []byte) (*Response, error) {
 	}
 	resp.ExecNanos, _ = strconv.ParseInt(attrOr(respEl, "exec-ns", "0"), 10, 64)
 	resp.SerializeNanos, _ = strconv.ParseInt(attrOr(respEl, "serde-ns", "0"), 10, 64)
+	resp.Spans = parseTraceEl(respEl)
 	st, err := decodeFragments(findChild(respEl, elFragments))
 	if err != nil {
 		return nil, err
@@ -224,6 +232,10 @@ func ParseResponse(data []byte) (*Response, error) {
 type Fault struct {
 	Msg  string
 	Code string
+	// Spans carries the server-side spans of a traced request that faulted —
+	// a lane that fails over mid-stream still contributes its partial server
+	// work to the originator's tree.
+	Spans []trace.Span
 }
 
 func (f *Fault) Error() string {
@@ -254,9 +266,37 @@ func MarshalFault(err error) []byte {
 	if code := faultCode(err); code != "" {
 		fmt.Fprintf(&sb, "<env:Code>%s</env:Code>", escapeText(code))
 	}
-	fmt.Fprintf(&sb, "<env:Reason>%s</env:Reason></env:Fault></%s></env:Envelope>",
-		escapeText(err.Error()), elBody)
+	fmt.Fprintf(&sb, "<env:Reason>%s</env:Reason>", escapeText(err.Error()))
+	writeTraceEl(&sb, faultSpans(err))
+	fmt.Fprintf(&sb, "</env:Fault></%s></env:Envelope>", elBody)
 	return []byte(sb.String())
+}
+
+// writeTraceEl emits the piggybacked-span element when spans are present;
+// untraced messages stay byte-identical to the pre-trace wire form.
+func writeTraceEl(sb *strings.Builder, spans []trace.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	data, err := trace.EncodeSpans(spans)
+	if err != nil {
+		return // dropping spans never fails a message
+	}
+	fmt.Fprintf(sb, "<%s>%s</%s>", elTrace, escapeText(string(data)), elTrace)
+}
+
+// parseTraceEl decodes a piggybacked-span child of el, nil when absent or
+// malformed — trace data is advisory and never fails message decoding.
+func parseTraceEl(el *xdm.Node) []trace.Span {
+	tEl := findChild(el, elTrace)
+	if tEl == nil {
+		return nil
+	}
+	spans, err := trace.DecodeSpans([]byte(tEl.StringValue()))
+	if err != nil {
+		return nil
+	}
+	return spans
 }
 
 // messagePayload unwraps Envelope/Body and returns the payload element,
@@ -278,6 +318,7 @@ func messagePayload(doc *xdm.Document, want string) (*xdm.Node, error) {
 		if c := findChild(f, "env:Code"); c != nil {
 			fault.Code = c.StringValue()
 		}
+		fault.Spans = parseTraceEl(f)
 		return nil, fault
 	}
 	el := findChild(body, want)

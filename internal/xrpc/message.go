@@ -26,6 +26,7 @@ import (
 
 	"distxq/internal/eval"
 	"distxq/internal/projection"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 )
 
@@ -85,6 +86,13 @@ type Request struct {
 	// the server re-clocks it from receipt time and aborts evaluation once
 	// the budget is spent, reporting a deadline-coded fault.
 	BudgetNS int64
+	// TraceID/TraceSpan propagate the originator's trace identity: when
+	// TraceID is non-zero the server records its own spans (anchored at
+	// request arrival) and piggybacks them on the response so the originator
+	// can stitch one cross-peer tree. TraceSpan is the client-side attempt
+	// span the server's work logically nests under.
+	TraceID   uint64
+	TraceSpan uint64
 	// Calls: per iteration, per parameter, the encoded sequence.
 	Calls [][]xdm.Sequence
 	// fragDocs holds the decoded fragment documents (server side), so tests
@@ -102,7 +110,11 @@ type Response struct {
 	ExecNanos int64
 	// SerializeNanos reports the server-side (de)serialization time.
 	SerializeNanos int64
-	fragDocs       []*xdm.Document
+	// Spans carries the server-side span tree of a traced request, on the
+	// peer's own timeline (anchored at request arrival); the originator
+	// ingests them under the attempt span that issued the call.
+	Spans    []trace.Span
+	fragDocs []*xdm.Document
 }
 
 // Message framing names. The xdm layer keeps prefixes literal, so these are
@@ -127,6 +139,10 @@ const (
 	elTextNode   = "xrpc:text"
 	elCommentEl  = "xrpc:comment"
 	elDocumentEl = "xrpc:document"
+	// elTrace carries piggybacked server-side spans (JSON text payload) on
+	// responses, terminal stream frames, and faults. Parsers that predate it
+	// skip unknown children, so the element is backward compatible.
+	elTrace = "xrpc:trace"
 )
 
 const envelopeOpen = `<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope" xmlns:xrpc="http://monetdb.cwi.nl/XQuery">`

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"distxq/internal/eval"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 )
@@ -168,6 +169,20 @@ type attemptOutcome struct {
 	lane    Lane
 	err     error
 	wallNS  int64
+	sp      trace.SpanRef
+}
+
+// attemptKind names an attempt for its span: the first try is the primary,
+// later ones are retries (after a fault) or hedges (racing a straggler).
+func attemptKind(first, hedge bool) string {
+	switch {
+	case first:
+		return "primary"
+	case hedge:
+		return "hedge"
+	default:
+		return "retry"
+	}
 }
 
 // callLane performs one scatter lane's Bulk RPC under the client's
@@ -181,13 +196,17 @@ type attemptOutcome struct {
 // but their results are discarded — duplicated responses are safe because
 // peer evaluation is deterministic and only the winner's response is
 // gathered.
-func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch) ([]xdm.Sequence, Lane, error) {
+func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch, lsp trace.SpanRef) ([]xdm.Sequence, Lane, error) {
 	start := time.Now()
 	max := c.Retry.maxAttempts(len(batch.Replicas))
 	if max <= 1 {
-		results, lane, err := c.callBulkCtx(ctx, batch.Target, x, batch.Iterations)
+		asp := lsp.Child("attempt", trace.Str("peer", batch.Target), trace.Str("kind", "primary"))
+		results, lane, err := c.callBulkCtx(ctx, batch.Target, x, batch.Iterations, asp)
+		asp.EndErr(err)
 		if err != nil {
 			err = budgetFailure(ctx, err, batch.Target, start)
+		} else {
+			asp.Set(trace.Bool("winner", true))
 		}
 		return results, lane, err
 	}
@@ -212,13 +231,22 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 			}
 		}
 		peer := targets[a%len(targets)]
+		// The attempt goroutine owns its span end-to-end: it may outlive the
+		// lane (a cancelled loser over a synchronous transport runs to
+		// completion), so nobody else may End it — the winner tag lands
+		// post-hoc via Set, which is legal on an ended span.
+		asp := lsp.Child("attempt",
+			trace.Str("peer", peer),
+			trace.Int("replica", int64(replicaIndex(batch, peer))),
+			trace.Str("kind", attemptKind(a == 0, hedge)))
 		go func() {
 			t0 := time.Now()
-			results, lane, err := c.callBulkCtx(lctx, peer, x, batch.Iterations)
+			results, lane, err := c.callBulkCtx(lctx, peer, x, batch.Iterations, asp)
+			asp.EndErr(err)
 			outcomes <- attemptOutcome{
 				attempt: a, replica: a % len(targets), peer: peer,
 				results: results, lane: lane, err: err,
-				wallNS: time.Since(t0).Nanoseconds(),
+				wallNS: time.Since(t0).Nanoseconds(), sp: asp,
 			}
 		}()
 	}
@@ -315,6 +343,7 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 			wasted += time.Since(starts[a]).Nanoseconds()
 		}
 	}
+	winner.sp.Set(trace.Bool("winner", true))
 	lane := winner.lane
 	lane.Target = batch.Target
 	lane.Replica = replicaIndex(batch, winner.peer)

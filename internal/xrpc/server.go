@@ -6,6 +6,7 @@ import (
 
 	"distxq/internal/eval"
 	"distxq/internal/projection"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 )
@@ -17,6 +18,9 @@ type Server struct {
 	// Engine evaluates shipped functions; its Resolver serves the peer's
 	// local documents. Required.
 	Engine *eval.Engine
+	// Name identifies this peer in the server-side spans it piggybacks on
+	// traced responses; empty renders as "remote" in assembled trees.
+	Name string
 	// ProjOpts tunes response projection.
 	ProjOpts projection.Options
 	// Metrics, when non-nil, accumulates server-side measurements.
@@ -73,6 +77,26 @@ func responsePaths(req *Request) (used, returned projection.PathSet) {
 	return used, returned
 }
 
+// serveSpan opens the server-side root span for a traced request, inert for
+// untraced ones. The trace anchors at arrival, so server spans sit on the
+// peer's own timeline starting near zero and the originator shifts them into
+// place at ingest. Shred time — measured before the request's trace identity
+// was known — is backfilled as a pre-closed child.
+func (s *Server) serveSpan(req *Request, arrival time.Time, name string, shredNS int64) trace.SpanRef {
+	if req.TraceID == 0 {
+		return trace.SpanRef{}
+	}
+	peer := s.Name
+	if peer == "" {
+		peer = "remote"
+	}
+	tr := trace.NewAt(trace.TraceID(req.TraceID), peer, arrival)
+	root := tr.Start(trace.SpanID(req.TraceSpan), name,
+		trace.Str("method", req.Method), trace.Int("calls", int64(len(req.Calls))))
+	root.Add("shred", 0, shredNS)
+	return root
+}
+
 // requestDeadline re-clocks the request's relative budget from arrival
 // time; the zero time means the request carries no budget.
 func requestDeadline(req *Request, arrival time.Time) time.Time {
@@ -93,14 +117,19 @@ func (s *Server) Handle(request []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	root := s.serveSpan(req, arrival, "serve", shredNS)
 	deadline := requestDeadline(req, arrival)
 
 	t1 := time.Now()
 	resp := &Response{Semantics: req.Semantics}
 	for _, params := range req.Calls {
+		csp := root.Child("call")
 		res, err := s.Engine.EvalFunctionDeadline(q, req.Method, params, static, deadline)
+		csp.EndErr(err)
 		if err != nil {
-			return nil, fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+			err = fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+			root.EndErr(err)
+			return nil, TracedError(err, root.Trace().ExportSpans())
 		}
 		resp.Results = append(resp.Results, res)
 	}
@@ -109,6 +138,10 @@ func (s *Server) Handle(request []byte) ([]byte, error) {
 	for _, res := range resp.Results {
 		buffered += len(res)
 	}
+	// The root must close before marshal so its end time lands inside the
+	// exported tree; the marshal cost still reaches the client via serde-ns.
+	root.End()
+	resp.Spans = root.Trace().ExportSpans()
 
 	t2 := time.Now()
 	resultU, resultR := responsePaths(req)

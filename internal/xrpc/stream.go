@@ -3,6 +3,7 @@ package xrpc
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"distxq/internal/eval"
 	"distxq/internal/projection"
+	"distxq/internal/trace"
 	"distxq/internal/xdm"
 	"distxq/internal/xq"
 )
@@ -76,6 +78,9 @@ type ResponseChunk struct {
 	// SerializeNanos reports this chunk's marshal time (terminal frame: the
 	// request shred time, so client-side serde totals match gather-whole).
 	SerializeNanos int64
+	// Spans piggybacks the server-side span tree on the terminal frame of a
+	// traced stream — the streamed analogue of Response.Spans.
+	Spans []trace.Span
 }
 
 // MarshalResponseChunk serializes one chunk frame. Pass-by-projection
@@ -86,8 +91,17 @@ func MarshalResponseChunk(ch *ResponseChunk, resultUsed, resultReturned projecti
 	sb.WriteString(envelopeOpen)
 	fmt.Fprintf(&sb, "<%s>", elBody)
 	if ch.Last {
-		fmt.Fprintf(&sb, `<%s seq="%d" last="true" calls="%d" serde-ns="%d"/>`,
-			elChunk, ch.Seq, ch.Calls, ch.SerializeNanos)
+		if len(ch.Spans) > 0 {
+			fmt.Fprintf(&sb, `<%s seq="%d" last="true" calls="%d" serde-ns="%d">`,
+				elChunk, ch.Seq, ch.Calls, ch.SerializeNanos)
+			writeTraceEl(&sb, ch.Spans)
+			fmt.Fprintf(&sb, "</%s>", elChunk)
+		} else {
+			// Untraced terminal frames keep the pre-trace self-closing form,
+			// byte-identical for old goldens and parsers.
+			fmt.Fprintf(&sb, `<%s seq="%d" last="true" calls="%d" serde-ns="%d"/>`,
+				elChunk, ch.Seq, ch.Calls, ch.SerializeNanos)
+		}
 	} else {
 		st := &encodeState{
 			sem:           ch.Semantics,
@@ -133,6 +147,7 @@ func ParseResponseChunk(data []byte) (*ResponseChunk, error) {
 		if err != nil {
 			return nil, fmt.Errorf("xrpc: terminal frame without calls count")
 		}
+		ch.Spans = parseTraceEl(el)
 		return ch, nil
 	}
 	ch.Semantics, err = ParseSemantics(attrOr(el, "semantics", "by-value"))
@@ -305,9 +320,10 @@ func (w *chunkWriter) flushChunk() error {
 
 // close emits the terminal frame; shredNS is the server's request-shred
 // time, delivered here so the client's serde accounting matches Handle's.
-func (w *chunkWriter) close(shredNS int64) error {
+// spans, when present, piggyback the server's trace tree on the frame.
+func (w *chunkWriter) close(shredNS int64, spans []trace.Span) error {
 	data, err := MarshalResponseChunk(&ResponseChunk{
-		Seq: w.seq, Last: true, Calls: w.calls, SerializeNanos: shredNS,
+		Seq: w.seq, Last: true, Calls: w.calls, SerializeNanos: shredNS, Spans: spans,
 	}, nil, nil, w.opts)
 	if err != nil {
 		return err
@@ -335,7 +351,7 @@ func MarshalResponseStream(resp *Response, itemsPerChunk int, resultUsed, result
 			return err
 		}
 	}
-	return w.close(resp.SerializeNanos)
+	return w.close(resp.SerializeNanos, resp.Spans)
 }
 
 // HandleStream implements StreamHandler: each call's results leave the peer
@@ -353,6 +369,14 @@ func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 	req, q, static, shredNS, err := s.prepare(request)
 	if err != nil {
 		return err
+	}
+	root := s.serveSpan(req, arrival, "serve-stream", shredNS)
+	// fail closes the server span tree and attaches it to the outgoing error,
+	// so the fault frame still carries the partial server-side work — the
+	// originator's failover lane ingests it even though the stream died.
+	fail := func(err error) error {
+		root.EndErr(err)
+		return TracedError(err, root.Trace().ExportSpans())
 	}
 	deadline := requestDeadline(req, arrival)
 	resultU, resultR := responsePaths(req)
@@ -372,22 +396,27 @@ func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 		},
 	}
 	for ci, params := range req.Calls {
+		csp := root.Child("call")
 		if s.EagerStream {
 			t0 := time.Now()
 			res, err := s.Engine.EvalFunctionDeadline(q, req.Method, params, static, deadline)
 			if err != nil {
-				return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+				csp.EndErr(err)
+				return fail(fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err))
 			}
 			exec := time.Since(t0).Nanoseconds()
 			execTotal += exec
 			if err := w.writeCall(ci, res, exec); err != nil {
-				return err
+				csp.EndErr(err)
+				return fail(err)
 			}
+			csp.End()
 			continue
 		}
 		seq, err := s.Engine.EvalFunctionSeqDeadline(q, req.Method, params, static, deadline)
 		if err != nil {
-			return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+			csp.EndErr(err)
+			return fail(fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err))
 		}
 		w.beginCall(ci)
 		// mark brackets the evaluation spans between frames: time inside the
@@ -409,16 +438,23 @@ func (s *Server) HandleStream(request []byte, emit func([]byte) error) error {
 		execSince += tail
 		execTotal += tail
 		if emitErr != nil {
-			return emitErr
+			csp.EndErr(emitErr)
+			return fail(emitErr)
 		}
 		if err != nil {
-			return fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err)
+			csp.EndErr(err)
+			return fail(fmt.Errorf("xrpc: evaluating %s: %w", req.Method, err))
 		}
 		if err := w.endCall(); err != nil {
-			return err
+			csp.EndErr(err)
+			return fail(err)
 		}
+		csp.End()
 	}
-	if err := w.close(shredNS); err != nil {
+	// The root closes before the terminal frame so its end time travels in
+	// the exported tree; the frame's own marshal cost stays in serde-ns.
+	root.End()
+	if err := w.close(shredNS, root.Trace().ExportSpans()); err != nil {
 		return err
 	}
 	if s.Metrics != nil {
@@ -493,13 +529,16 @@ func (c *StreamedClient) CallRemoteScatterStream(x *xq.XRPCExpr, batches []eval.
 	}
 	lanes := make([]Lane, len(batches))
 	failed := make([]bool, len(batches))
+	ssp := c.Trace.Child("scatter",
+		trace.Int("lanes", int64(len(batches))), trace.Bool("streamed", true))
 	var remaining atomic.Int64
 	remaining.Store(int64(len(batches)))
 	for i := range batches {
 		go func(i int) {
 			// Defers run in reverse order: the last lane to finish records
-			// the metrics waves, then closes its channel — so by the time
-			// the consumer has drained every lane, the waves are visible.
+			// the metrics waves and closes the scatter span, then closes its
+			// channel — so by the time the consumer has drained every lane,
+			// the waves are visible and the span tree is complete.
 			defer close(chans[i])
 			defer func() {
 				if remaining.Add(-1) != 0 {
@@ -516,6 +555,7 @@ func (c *StreamedClient) CallRemoteScatterStream(x *xq.XRPCExpr, batches []eval.
 					c.Metrics.AddWave(ok[:n])
 					ok = ok[n:]
 				}
+				ssp.End()
 			}()
 			defer close(done[i])
 			if i >= width {
@@ -530,8 +570,10 @@ func (c *StreamedClient) CallRemoteScatterStream(x *xq.XRPCExpr, batches []eval.
 					return
 				}
 			}
-			lane, err := c.runStreamLane(ctx, x, batches[i], chans[i])
+			lsp := laneSpan(ssp, batches[i].Target)
+			lane, err := c.runStreamLane(ctx, x, batches[i], chans[i], lsp)
 			lanes[i] = lane
+			finishLane(lsp, lane, err)
 			if err != nil {
 				failed[i] = true
 				sendChunk(ctx, chans[i], eval.StreamChunk{Err: err})
@@ -616,14 +658,17 @@ type deliverFunc func(eval.StreamChunk) bool
 // totals exactly like callBulkCtx does for gather-whole exchanges. onFrame,
 // when non-nil, is invoked as each response frame reaches the originator —
 // the liveness signal the retry runner's hedge timer watches.
-func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, deliver deliverFunc, onFrame func()) (Lane, error) {
+func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, deliver deliverFunc, onFrame func(), sp trace.SpanRef) (Lane, error) {
 	stx, streams := c.Transport.(StreamTransport)
 	if !streams {
-		return c.gatherLane(ctx, target, x, iterations, deliver)
+		return c.gatherLane(ctx, target, x, iterations, deliver, sp)
 	}
-	data, serNS, err := c.marshalCall(ctx, target, x, iterations)
+	data, serNS, err := c.marshalCall(ctx, target, x, iterations, sp)
 	if err != nil {
 		return Lane{}, err
+	}
+	if sp.Active() {
+		ctx = withTraceInfo(ctx, uint64(sp.TraceID()), uint64(sp.SpanID()))
 	}
 	st := &laneState{expect: len(iterations)}
 	sink := func(frame []byte) error {
@@ -669,8 +714,14 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 		st.execNS += chunk.ExecNanos
 		st.serdeNS += chunk.SerializeNanos
 		if chunk.Last {
+			// The terminal frame piggybacks the server's span tree.
+			sp.IngestRemote(chunk.Spans)
 			return nil
 		}
+		sp.Event("frame",
+			trace.Int("seq", int64(chunk.Seq)),
+			trace.Int("call", int64(chunk.Call)),
+			trace.Int("bytes", int64(len(frame))))
 		st.chunks = append(st.chunks, ChunkStat{
 			Bytes: int64(len(frame)), ExecNS: chunk.ExecNanos, DeserNS: deser,
 		})
@@ -684,6 +735,13 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 	wallNS := time.Since(t1).Nanoseconds()
 	if err == nil && !st.done {
 		err = fmt.Errorf("xrpc: stream from %s ended without terminal frame", target)
+	}
+	if err != nil {
+		// A mid-stream fault frame still carries the server's partial spans.
+		var f *Fault
+		if errors.As(err, &f) && len(f.Spans) > 0 {
+			sp.IngestRemote(f.Spans)
+		}
 	}
 	c.observe(target, wallNS, err)
 	if err != nil {
@@ -730,8 +788,8 @@ func (c *StreamedClient) streamLane(ctx context.Context, target string, x *xq.XR
 
 // gatherLane is the degraded streamLane over a Transport without streaming:
 // one gather-whole exchange, delivered as one increment per iteration.
-func (c *StreamedClient) gatherLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, deliver deliverFunc) (Lane, error) {
-	results, lane, err := c.callBulkCtx(ctx, target, x, iterations)
+func (c *StreamedClient) gatherLane(ctx context.Context, target string, x *xq.XRPCExpr, iterations [][]xdm.Sequence, deliver deliverFunc, sp trace.SpanRef) (Lane, error) {
+	results, lane, err := c.callBulkCtx(ctx, target, x, iterations, sp)
 	if err != nil {
 		return Lane{}, err
 	}
@@ -805,14 +863,18 @@ func replayFilter(p *laneProgress, deliver deliverFunc) deliverFunc {
 // hedge is a cancel-and-switch rather than the gather path's concurrent
 // race: racing two incremental streams would interleave increments, and
 // only one attempt may feed the consumer's ordered channel).
-func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch, ch chan<- eval.StreamChunk) (Lane, error) {
+func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch, ch chan<- eval.StreamChunk, lsp trace.SpanRef) (Lane, error) {
 	start := time.Now()
 	forward := func(chunk eval.StreamChunk) bool { return sendChunk(ctx, ch, chunk) }
 	max := c.Retry.maxAttempts(len(batch.Replicas))
 	if max <= 1 {
-		lane, err := c.streamLane(ctx, batch.Target, x, batch.Iterations, forward, nil)
+		asp := lsp.Child("attempt", trace.Str("peer", batch.Target), trace.Str("kind", "primary"))
+		lane, err := c.streamLane(ctx, batch.Target, x, batch.Iterations, forward, nil, asp)
+		asp.EndErr(err)
 		if err != nil {
 			err = budgetFailure(ctx, err, batch.Target, start)
+		} else {
+			asp.Set(trace.Bool("winner", true))
 		}
 		return lane, err
 	}
@@ -841,6 +903,10 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 			break
 		}
 		target := targets[attempt%len(targets)]
+		asp := lsp.Child("attempt",
+			trace.Str("peer", target),
+			trace.Int("replica", int64(replicaIndex(batch, target))),
+			trace.Str("kind", attemptKind(attempt == 0, stalled)))
 		actx, acancel := context.WithCancel(ctx)
 		frames := make(chan struct{}, 1)
 		onFrame := func() {
@@ -869,7 +935,7 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 		deliver := replayFilter(progress, forward)
 		t0 := time.Now()
 		go func() {
-			lane, err := c.streamLane(actx, target, x, batch.Iterations, deliver, onFrame)
+			lane, err := c.streamLane(actx, target, x, batch.Iterations, deliver, onFrame, asp)
 			outc <- outcome{lane, err}
 		}()
 		var hedgeC <-chan time.Time
@@ -888,8 +954,11 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 						hedgeTimer.Stop()
 					}
 					acancel()
+					asp.End()
+					asp.Set(trace.Bool("winner", true))
 					return win(o), nil
 				}
+				asp.EndErr(o.err)
 				fault.record(attempt, o.err)
 				wasted += time.Since(t0).Nanoseconds()
 				// A spent budget is terminal: no replica answers in time that
@@ -916,8 +985,12 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 					if hedgeTimer != nil {
 						hedgeTimer.Stop()
 					}
+					asp.End()
+					asp.Set(trace.Bool("winner", true))
 					return win(o), nil
 				}
+				asp.Set(trace.Bool("stalled", true))
+				asp.EndErr(o.err)
 				fault.record(attempt, o.err)
 				wasted += time.Since(t0).Nanoseconds()
 				terminal = isDeadline(o.err)

@@ -1,0 +1,155 @@
+package distxq_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"distxq/internal/bench"
+	"distxq/internal/core"
+	"distxq/internal/eval"
+	"distxq/internal/service"
+	"distxq/internal/trace"
+	"distxq/internal/xdm"
+	"distxq/internal/xmark"
+	"distxq/internal/xq"
+)
+
+// TestTracingOverheadGate is the CI tracing-overhead gate: with tracing
+// enabled, the engine-local workload of BenchmarkEngineLocal and the
+// service's scatter path must stay within 5% of the tracing-off runtime.
+//
+// Timing gates are inherently noisy, so the test is opt-in (CI sets
+// DISTXQ_OVERHEAD_GATE=1) and forgiving in shape: each leg takes the
+// minimum of 3 reps per side, and the gate retries up to 5 trials,
+// passing when ANY trial lands under the limit — a machine hiccup fails a
+// trial, not the build. A genuine per-span regression fails all five.
+func TestTracingOverheadGate(t *testing.T) {
+	if os.Getenv("DISTXQ_OVERHEAD_GATE") == "" {
+		t.Skip("timing gate: set DISTXQ_OVERHEAD_GATE=1 to run (the CI overhead step does)")
+	}
+	const (
+		trials = 5
+		reps   = 3
+		limit  = 1.05
+	)
+	gate := func(t *testing.T, name string, measure func(traced bool) time.Duration) {
+		var worst float64
+		for trial := 1; trial <= trials; trial++ {
+			var off, on time.Duration
+			for r := 0; r < reps; r++ {
+				if d := measure(false); r == 0 || d < off {
+					off = d
+				}
+				if d := measure(true); r == 0 || d < on {
+					on = d
+				}
+			}
+			ratio := float64(on) / float64(off)
+			t.Logf("%s trial %d: off=%v on=%v ratio=%.3f", name, trial, off, on, ratio)
+			if ratio <= limit {
+				return
+			}
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+		t.Errorf("%s: tracing overhead above %.0f%% in all %d trials (worst ratio %.3f)",
+			name, (limit-1)*100, trials, worst)
+	}
+
+	// Leg 1: the BenchmarkEngineLocal workload — parse and warm once, then
+	// pure execution of the cached plan. The traced side evaluates under an
+	// active span; the hot path must not open spans per evaluation.
+	t.Run("engine-local", func(t *testing.T) {
+		cfg := xmark.DefaultConfig()
+		cfg.Persons, cfg.Items, cfg.Auctions = 100, 50, 0
+		doc := xmark.PeopleDocument(cfg, "xmk.xml")
+		q, err := xq.ParseQuery(`count(doc("local-people")//person[descendant::age > 30])`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newEngine := func(traced bool) *eval.Engine {
+			eng := eval.NewEngine(eval.ResolverFunc(func(uri string) (*xdm.Document, error) {
+				if uri == "local-people" {
+					return doc, nil
+				}
+				return nil, fmt.Errorf("no such document %q", uri)
+			}))
+			if traced {
+				eng.TraceSpan = trace.New(0, "local").Start(0, "query")
+			}
+			if _, err := eng.Query(q); err != nil {
+				t.Fatal(err)
+			}
+			return eng
+		}
+		engines := map[bool]*eval.Engine{false: newEngine(false), true: newEngine(true)}
+		gate(t, "engine-local", func(traced bool) time.Duration {
+			eng := engines[traced]
+			start := time.Now()
+			for i := 0; i < 50; i++ {
+				if _, err := eng.Query(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return time.Since(start)
+		})
+	})
+
+	// Leg 2: the service scatter path — the load-smoke shape, where tracing
+	// actually opens spans per query (admission, plan, execute, scatter,
+	// lanes, attempts) and grafts remote serve spans back in.
+	t.Run("service-scatter", func(t *testing.T) {
+		f := bench.NewScatterFixture(1<<16, 3)
+		services := map[bool]*service.Service{}
+		for _, traced := range []bool{false, true} {
+			svc := service.New(f.Net, f.Local, core.ByFragment, service.Config{
+				Trace: traced, TraceRing: 8,
+			})
+			// Warm the plan cache so measurement is pure dispatch.
+			if _, _, err := svc.Query(f.Query, core.Budget{}); err != nil {
+				t.Fatal(err)
+			}
+			services[traced] = svc
+		}
+		gate(t, "service-scatter", func(traced bool) time.Duration {
+			svc := services[traced]
+			start := time.Now()
+			for i := 0; i < 30; i++ {
+				if _, _, err := svc.Query(f.Query, core.Budget{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return time.Since(start)
+		})
+	})
+}
+
+// BenchmarkServiceScatterTraced measures the absolute per-query cost of the
+// tracing the gate above bounds relatively — run with -benchmem to see the
+// span-recording allocations.
+func BenchmarkServiceScatterTraced(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := bench.NewScatterFixture(1<<16, 3)
+			svc := service.New(f.Net, f.Local, core.ByFragment, service.Config{
+				Trace: mode.traced, TraceRing: 8,
+			})
+			if _, _, err := svc.Query(f.Query, core.Budget{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := svc.Query(f.Query, core.Budget{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
