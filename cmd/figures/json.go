@@ -79,6 +79,24 @@ func (s *jsonSink) addHedge(rows []bench.HedgeRow) {
 	}
 }
 
+func (s *jsonSink) addTopology(rows []bench.TopologyRow) {
+	for _, r := range rows {
+		s.report.Points = append(s.report.Points,
+			benchPoint{
+				Fig:   "topology",
+				Label: r.Churn.Name + "/blind",
+				P50NS: r.BlindP50NS,
+				P99NS: r.BlindP99NS,
+			},
+			benchPoint{
+				Fig:   "topology",
+				Label: r.Churn.Name + "/aware",
+				P50NS: r.AwareP50NS,
+				P99NS: r.AwareP99NS,
+			})
+	}
+}
+
 func (s *jsonSink) addLoad(rows []bench.LoadRow) {
 	for _, r := range rows {
 		s.report.Points = append(s.report.Points, benchPoint{

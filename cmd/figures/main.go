@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|7|8|9|10|scatter|shard|stream|incremental|hedge|load|trace] [-size bytes] [-steps n] [-json file] [-check baseline]
+//	figures [-fig all|7|8|9|10|scatter|shard|stream|incremental|hedge|load|trace|topology] [-size bytes] [-steps n] [-json file] [-check baseline]
 //
 // -size sets the largest combined document size of the sweep (default 2 MiB;
 // the paper used 320 MB on a cluster — larger sizes just take longer).
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, incremental, hedge, load, trace")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10 (10 includes 11), scatter, shard, stream, incremental, hedge, load, trace, topology")
 	size := flag.Int64("size", 1<<21, "largest combined document size in bytes")
 	steps := flag.Int("steps", 5, "number of sizes in the sweep (halving per step)")
 	maxPeers := flag.Int("peers", 8, "largest peer count of the scatter sweep (doubling from 1)")
@@ -165,6 +165,14 @@ func main() {
 			fmt.Printf("wrote %s (%d spans) — open in chrome://tracing or Perfetto\n",
 				*traceOut, row.Spans)
 		}
+		return nil
+	})
+	run("topology", func() error {
+		cfg := bench.DefaultTopologyConfig()
+		cfg.Lanes = *maxPeers
+		rows := bench.FigTopology(cfg, bench.DefaultTopologyChurn)
+		bench.PrintFigTopology(os.Stdout, cfg, rows)
+		sink.addTopology(rows)
 		return nil
 	})
 	run("load", func() error {

@@ -221,6 +221,46 @@ func TestFigHedgeLive(t *testing.T) {
 	}
 }
 
+// TestFigTopologyGolden locks in the churn-routing report. FigTopology is a
+// deterministic netsim-model computation (seeded draws, simulated time
+// only), so the golden covers the real numbers, not just the layout.
+func TestFigTopologyGolden(t *testing.T) {
+	cfg := bench.DefaultTopologyConfig()
+	rows := bench.FigTopology(cfg, bench.DefaultTopologyChurn)
+	var buf bytes.Buffer
+	bench.PrintFigTopology(&buf, cfg, rows)
+	checkGolden(t, "fig_topology.golden", buf.Bytes())
+}
+
+// TestFigTopologyAcceptance asserts the routing claim behind the figure: at
+// every churn level with faults present, contention-aware routing beats the
+// contention-blind baseline on gather-side P99, the blind baseline pays real
+// duplicate bytes and detection stalls, and with no churn the two disciplines
+// price essentially alike (the model does not bake in an advantage).
+func TestFigTopologyAcceptance(t *testing.T) {
+	rows := bench.FigTopology(bench.DefaultTopologyConfig(), bench.DefaultTopologyChurn)
+	if len(rows) < 2 {
+		t.Fatal("no churn sweep")
+	}
+	for _, r := range rows {
+		if r.Churn.DeadPct == 0 && r.Churn.SlowPct == 0 {
+			// Calm: within 5% of each other.
+			if diff := r.BlindP99NS - r.AwareP99NS; diff < 0 || diff > r.BlindP99NS/20 {
+				t.Errorf("calm level: blind P99 %dns vs aware %dns — disciplines should price alike",
+					r.BlindP99NS, r.AwareP99NS)
+			}
+			continue
+		}
+		if r.AwareP99NS >= r.BlindP99NS {
+			t.Errorf("%s: aware P99 %dns not below blind %dns", r.Churn.Name, r.AwareP99NS, r.BlindP99NS)
+		}
+		if r.DupBytes == 0 || r.Timeouts == 0 {
+			t.Errorf("%s: blind paid no duplicates (%d bytes) or stalls (%d) — scenario exercises nothing",
+				r.Churn.Name, r.DupBytes, r.Timeouts)
+		}
+	}
+}
+
 // TestFigTraceGolden locks in the trace-waterfall rendering. SimTraceFig is
 // a deterministic netsim-model computation (simulated time only), so the
 // golden covers the real span times, not just the layout.

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// This file makes shard layouts live: a ShardMap is no longer frozen for the
+// federation's lifetime but evolves through validated deltas, each producing
+// the next epoch of the same logical document. The epoch number is the
+// synchronization point between planning and dispatch — a plan decomposed
+// against epoch N keeps executing against N's routing even while the network
+// installs N+1, and the service plan cache evicts entries of superseded
+// epochs the moment a newer one is observed.
+
+// ShardDelta describes one atomic topology change against a shard map. The
+// fields apply in a fixed order — Join, Move, AddReplicas, DropReplicas,
+// Leave — so a single delta can, say, join a peer and immediately move a
+// shard onto it. Every target of a Move must provably hold a byte-identical
+// copy of the shard (it is a current replica, or the caller vouches for a
+// joining peer that was provisioned out of band); the equivalence guarantee
+// of scatter rewriting depends on it.
+type ShardDelta struct {
+	// Join names peers entering the layout. Joining alone changes nothing;
+	// it licenses the same delta's Move/AddReplicas to target peers the map
+	// has never seen, asserting they hold the shard copies they are given.
+	Join []string
+	// Leave names peers departing the layout: a leaving primary's shard
+	// promotes its first non-leaving replica (an error when none remains —
+	// the shard would lose its last copy), and leaving peers are dropped
+	// from every replica set.
+	Leave []string
+	// Move reassigns shard primaries: shard index → new primary. The old
+	// primary is demoted to the head of the shard's replica set (it still
+	// holds the data and was serving it a moment ago).
+	Move map[int]string
+	// AddReplicas appends ordered failover replicas per shard index.
+	AddReplicas map[int][]string
+	// DropReplicas removes replicas per shard index.
+	DropReplicas map[int][]string
+}
+
+// Clone returns a deep copy of the shard map: mutating the copy's slices
+// never aliases the original, so superseded epochs stay immutable while
+// in-flight plans still read them.
+func (m ShardMap) Clone() ShardMap {
+	out := m
+	out.Peers = slices.Clone(m.Peers)
+	out.Replicas = make([][]string, len(m.Replicas))
+	for i, rs := range m.Replicas {
+		out.Replicas[i] = slices.Clone(rs)
+	}
+	return out
+}
+
+// sortedIndexes returns a delta map's shard indexes in ascending order, so
+// application and error reporting are deterministic.
+func sortedIndexes[V any](m map[int]V) []int {
+	idx := make([]int, 0, len(m))
+	for i := range m {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// ApplyDelta applies one topology change and returns the next epoch of the
+// map: a deep copy with Epoch incremented and the delta applied, validated
+// so an installed epoch can never route a lane at a peer that holds no copy
+// of its shard. The receiver is not modified; an error returns the zero map
+// and leaves the current epoch in force.
+func (m ShardMap) ApplyDelta(d ShardDelta) (ShardMap, error) {
+	next := m.Clone()
+	next.Epoch = m.Epoch + 1
+	// Uniform per-shard replica slots for the duration of the edit.
+	for len(next.Replicas) < len(next.Peers) {
+		next.Replicas = append(next.Replicas, nil)
+	}
+	joined := map[string]bool{}
+	for _, p := range d.Join {
+		if p == "" {
+			return ShardMap{}, fmt.Errorf("core: %s epoch %d: empty join peer", m.Logical, next.Epoch)
+		}
+		joined[p] = true
+	}
+	fail := func(format string, args ...any) (ShardMap, error) {
+		return ShardMap{}, fmt.Errorf("core: %s epoch %d: %s", m.Logical, next.Epoch, fmt.Sprintf(format, args...))
+	}
+	for _, i := range sortedIndexes(d.Move) {
+		p := d.Move[i]
+		if i < 0 || i >= len(next.Peers) {
+			return fail("move names shard %d of %d", i, len(next.Peers))
+		}
+		old := next.Peers[i]
+		if p == old {
+			return fail("shard %d already lives on %s", i, p)
+		}
+		if !slices.Contains(next.Replicas[i], p) && !joined[p] {
+			return fail("move target %s holds no copy of shard %d (not a replica, not joining)", p, i)
+		}
+		next.Peers[i] = p
+		rest := slices.DeleteFunc(next.Replicas[i], func(r string) bool { return r == p })
+		next.Replicas[i] = append([]string{old}, rest...)
+	}
+	for _, i := range sortedIndexes(d.AddReplicas) {
+		if i < 0 || i >= len(next.Peers) {
+			return fail("replica add names shard %d of %d", i, len(next.Peers))
+		}
+		for _, r := range d.AddReplicas[i] {
+			if r == next.Peers[i] {
+				return fail("replica %s of shard %d is its primary", r, i)
+			}
+			if slices.Contains(next.Replicas[i], r) {
+				return fail("duplicate replica %s of shard %d", r, i)
+			}
+			next.Replicas[i] = append(next.Replicas[i], r)
+		}
+	}
+	for _, i := range sortedIndexes(d.DropReplicas) {
+		if i < 0 || i >= len(next.Peers) {
+			return fail("replica drop names shard %d of %d", i, len(next.Peers))
+		}
+		for _, r := range d.DropReplicas[i] {
+			if !slices.Contains(next.Replicas[i], r) {
+				return fail("dropping %s, not a replica of shard %d", r, i)
+			}
+			next.Replicas[i] = slices.DeleteFunc(next.Replicas[i], func(x string) bool { return x == r })
+		}
+	}
+	if len(d.Leave) > 0 {
+		leaving := map[string]bool{}
+		for _, p := range d.Leave {
+			leaving[p] = true
+		}
+		for i, p := range next.Peers {
+			if leaving[p] {
+				pi := slices.IndexFunc(next.Replicas[i], func(r string) bool { return !leaving[r] })
+				if pi < 0 {
+					return fail("shard %d loses its last copy when %s leaves", i, p)
+				}
+				next.Peers[i] = next.Replicas[i][pi]
+			}
+			next.Replicas[i] = slices.DeleteFunc(next.Replicas[i], func(r string) bool {
+				return leaving[r] || r == next.Peers[i]
+			})
+		}
+	}
+	seen := map[string]int{}
+	for i, p := range next.Peers {
+		if j, dup := seen[p]; dup {
+			return fail("shards %d and %d share primary %s", j, i, p)
+		}
+		seen[p] = i
+	}
+	// Trim trailing empty replica slots back to the compact form.
+	for len(next.Replicas) > 0 && len(next.Replicas[len(next.Replicas)-1]) == 0 {
+		next.Replicas = next.Replicas[:len(next.Replicas)-1]
+	}
+	return next, nil
+}
+
+// ShardOwner locates the shard whose primary was peer in this map: the shard
+// index, or -1 when peer owns no shard. Epoch-aware re-dispatch uses it to
+// follow a lane's shard from the plan's epoch into the live one.
+func (m ShardMap) ShardOwner(peer string) int {
+	return slices.Index(m.Peers, peer)
+}

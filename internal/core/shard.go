@@ -37,6 +37,12 @@ type ShardMap struct {
 	// replica when the primary is down. Nil, or shorter than Peers, means
 	// the remaining shards are unreplicated.
 	Replicas [][]string
+	// Epoch numbers this layout's generation. ApplyDelta increments it on
+	// every validated topology change; the service plan cache keys on it, and
+	// epoch-aware dispatch compares a plan's epoch against the live layout to
+	// re-route lanes whose peer has since departed. The zero epoch is a valid
+	// first generation.
+	Epoch int64
 }
 
 // ReplicaSets returns the peer → ordered-failover-replicas map of the shard

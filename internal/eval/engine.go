@@ -147,6 +147,14 @@ type Engine struct {
 	// Sessions derive it from replica-aware shard maps; set it before
 	// queries dispatch.
 	Replicas map[string][]string
+	// ReplicaRoutes maps a synthesized scatter call to its own target →
+	// replicas routing, overriding Replicas for that call's lanes. Two shard
+	// maps may assign the same primary peer different failover orders — one
+	// per logical document — and per-expression routes keep each scattered
+	// loop failing over within its own document's copies (per-(target,
+	// logical-document) replica routing). Sessions fill it from the plan's
+	// shard decisions.
+	ReplicaRoutes map[*xq.XRPCExpr]map[string][]string
 	// Deadline, when non-zero, bounds every evaluation started through this
 	// engine: the tree-walker checks it periodically and aborts with
 	// ErrDeadlineExceeded once it passes. Sessions set it on their
@@ -256,6 +264,18 @@ func (e *Engine) RegisterLogical(uri string, build func() (*xdm.Document, error)
 		e.logical = map[string]func() (*xdm.Document, error){}
 	}
 	e.logical[uri] = build
+}
+
+// replicasFor resolves the failover replicas of one scatter lane: the
+// call's own route table when the session installed one (its absence of a
+// target means that shard is unreplicated — falling through to another
+// document's merged entry would fail over to copies of the wrong data),
+// otherwise the target-keyed Replicas map.
+func (e *Engine) replicasFor(x *xq.XRPCExpr, target string) []string {
+	if m, ok := e.ReplicaRoutes[x]; ok {
+		return m[target]
+	}
+	return e.Replicas[target]
 }
 
 // Doc resolves and caches a document by URI. Two fn:doc calls for the same

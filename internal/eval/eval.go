@@ -326,7 +326,7 @@ func (c *context) evalScatter(v *xq.ForExpr, x *xq.XRPCExpr, in xdm.Sequence) (x
 		if !seen {
 			b = len(batches)
 			batchOf[target] = b
-			batches = append(batches, ScatterBatch{Target: target, Replicas: c.eng.Replicas[target]})
+			batches = append(batches, ScatterBatch{Target: target, Replicas: c.eng.replicasFor(x, target)})
 			indices = append(indices, nil)
 		}
 		batches[b].Iterations = append(batches[b].Iterations, params)

@@ -1,0 +1,358 @@
+package peer
+
+// churn_equiv_test.go is the randomized churn-equivalence harness for the
+// elastic topology: seeded schedules of kill/revive/reshard/replica-delta
+// operations interleave with generated queries on a live-topology session,
+// and every query must serialize byte-identically to static local execution
+// over the unsharded reference document — across every epoch transition, for
+// 2/4/8-shard layouts, gather-whole and streamed dispatch, tree-walking and
+// compiled execution. Correctness of the scatter rewrite under a frozen map
+// is proven by the core equivalence harness; this one proves the topology
+// can move underneath the session without the answers moving with it.
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"distxq/internal/core"
+	"distxq/internal/eval"
+	"distxq/internal/xdm"
+	"distxq/internal/xmark"
+	"distxq/internal/xrpc"
+)
+
+// buildUnionReference constructs the unsharded logical document: one
+// site/people skeleton with every shard's person records copied in
+// shard-major order — the oracle every churned execution must match.
+func buildUnionReference(t *testing.T, shards []*xdm.Document) *xdm.Document {
+	t.Helper()
+	d := xdm.NewDocument(xmark.LogicalPeopleURI)
+	site := xdm.NewElement("site")
+	people := xdm.NewElement("people")
+	site.AppendChild(people)
+	for _, sd := range shards {
+		srcSite := sd.Root.Children[0]
+		var srcPeople *xdm.Node
+		for _, ch := range srcSite.Children {
+			if ch.Kind == xdm.ElementNode && ch.Name == "people" {
+				srcPeople = ch
+			}
+		}
+		if srcPeople == nil {
+			t.Fatal("shard lacks site/people")
+		}
+		for _, rec := range srcPeople.Children {
+			if rec.Kind == xdm.ElementNode && rec.Name == "person" {
+				people.AppendChild(rec.Copy())
+			}
+		}
+	}
+	d.Root.AppendChild(site)
+	d.Freeze()
+	return d
+}
+
+// churnWorld is one federation layout under churn: every shard i is held by
+// three interchangeable hosts (s<i>a, s<i>b, s<i>c — byte-identical copies),
+// of which the live shard map names a primary and any subset as replicas.
+// The schedule machinery keeps one invariant: every shard always retains at
+// least one live mapped copy, so every query has a correct answer to find.
+type churnWorld struct {
+	t      *testing.T
+	n      *Network
+	local  *Peer
+	shards int
+	hosts  [][]string
+	refEng *eval.Engine
+	dead   map[string]bool
+	moves  int // epoch transitions applied in the current schedule
+}
+
+func newChurnWorld(t *testing.T, shards int) *churnWorld {
+	t.Helper()
+	cfg := xmark.Config{Seed: 23, Persons: 18, FillerBytes: 0, MinAge: 18, MaxAge: 50}
+	w := &churnWorld{t: t, n: NewNetwork(), shards: shards, dead: map[string]bool{}}
+	refShards := make([]*xdm.Document, shards)
+	for i := 0; i < shards; i++ {
+		var hs []string
+		for _, suffix := range []string{"a", "b", "c"} {
+			name := fmt.Sprintf("s%d%s", i, suffix)
+			d := xmark.PeopleShardDocument(cfg, i, shards, "xrpc://"+name+"/"+xmark.PeopleShardPath)
+			w.n.AddPeer(name).AddDoc(xmark.PeopleShardPath, d)
+			if suffix == "a" {
+				refShards[i] = d
+			}
+			hs = append(hs, name)
+		}
+		w.hosts = append(w.hosts, hs)
+	}
+	w.local = w.n.AddPeer("local")
+	ref := buildUnionReference(t, refShards)
+	w.refEng = eval.NewEngine(eval.ResolverFunc(func(uri string) (*xdm.Document, error) {
+		if uri != xmark.LogicalPeopleURI {
+			return nil, fmt.Errorf("reference engine: unexpected doc(%q)", uri)
+		}
+		return ref, nil
+	}))
+	return w
+}
+
+// reset revives every host and installs the canonical starting layout
+// (primary s<i>a, replica s<i>b, standby s<i>c) as a fresh epoch.
+func (w *churnWorld) reset() {
+	w.t.Helper()
+	for name := range w.dead {
+		w.n.RevivePeer(name)
+		delete(w.dead, name)
+	}
+	var primaries []string
+	var replicas [][]string
+	for i := 0; i < w.shards; i++ {
+		primaries = append(primaries, w.hosts[i][0])
+		replicas = append(replicas, []string{w.hosts[i][1]})
+	}
+	m := xmark.PeopleShardMap(primaries)
+	m.Replicas = replicas
+	if _, err := w.n.UpdateShards(m); err != nil {
+		w.t.Fatal(err)
+	}
+	w.moves = 0
+}
+
+func (w *churnWorld) topo() core.ShardMap {
+	w.t.Helper()
+	maps, _ := w.n.ShardTopology()
+	if len(maps) != 1 {
+		w.t.Fatalf("topology holds %d maps, want 1", len(maps))
+	}
+	return maps[0]
+}
+
+func replicasOf(m core.ShardMap, i int) []string {
+	if i < len(m.Replicas) {
+		return m.Replicas[i]
+	}
+	return nil
+}
+
+// liveCopies counts shard i's mapped copies that are alive, pretending
+// `excluding` were dead — the invariant check before a kill/drop/leave.
+func (w *churnWorld) liveCopies(m core.ShardMap, i int, excluding string) int {
+	count := 0
+	for _, c := range append([]string{m.Peers[i]}, replicasOf(m, i)...) {
+		if c != excluding && !w.dead[c] {
+			count++
+		}
+	}
+	return count
+}
+
+// standby returns a host of shard i the current map does not name, "" when
+// all three are mapped.
+func (w *churnWorld) standby(m core.ShardMap, i int) string {
+	for _, h := range w.hosts[i] {
+		if h != m.Peers[i] && !slices.Contains(replicasOf(m, i), h) {
+			return h
+		}
+	}
+	return ""
+}
+
+func (w *churnWorld) reshard(d core.ShardDelta) {
+	w.t.Helper()
+	if _, err := w.n.Reshard(xmark.LogicalPeopleURI, d); err != nil {
+		w.t.Fatalf("reshard %+v: %v", d, err)
+	}
+	w.moves++
+}
+
+// randomOp applies one random topology operation whose preconditions hold,
+// skipping draws that would strand a shard without a live copy.
+func (w *churnWorld) randomOp(rng *rand.Rand) {
+	for attempt := 0; attempt < 12; attempt++ {
+		m := w.topo()
+		i := rng.Intn(w.shards)
+		switch rng.Intn(7) {
+		case 0: // kill a host (its shard keeps a live mapped copy)
+			h := w.hosts[i][rng.Intn(3)]
+			if w.dead[h] || w.liveCopies(m, i, h) == 0 {
+				continue
+			}
+			w.n.KillPeer(h)
+			w.dead[h] = true
+		case 1: // revive a dead host
+			var downs []string
+			for _, row := range w.hosts {
+				for _, h := range row {
+					if w.dead[h] {
+						downs = append(downs, h)
+					}
+				}
+			}
+			if len(downs) == 0 {
+				continue
+			}
+			h := downs[rng.Intn(len(downs))]
+			w.n.RevivePeer(h)
+			delete(w.dead, h)
+		case 2: // move the shard onto one of its replicas
+			rs := replicasOf(m, i)
+			if len(rs) == 0 {
+				continue
+			}
+			w.reshard(core.ShardDelta{Move: map[int]string{i: rs[rng.Intn(len(rs))]}})
+		case 3: // join the standby and move the shard onto it
+			s := w.standby(m, i)
+			if s == "" {
+				continue
+			}
+			w.reshard(core.ShardDelta{Join: []string{s}, Move: map[int]string{i: s}})
+		case 4: // add the standby as a replica
+			s := w.standby(m, i)
+			if s == "" {
+				continue
+			}
+			w.reshard(core.ShardDelta{AddReplicas: map[int][]string{i: {s}}})
+		case 5: // drop a replica (shard keeps a live copy without it)
+			rs := replicasOf(m, i)
+			if len(rs) == 0 {
+				continue
+			}
+			r := rs[rng.Intn(len(rs))]
+			if w.liveCopies(m, i, r) == 0 {
+				continue
+			}
+			w.reshard(core.ShardDelta{DropReplicas: map[int][]string{i: {r}}})
+		default: // a mapped host leaves the layout entirely
+			rs := replicasOf(m, i)
+			if len(rs) == 0 {
+				continue
+			}
+			h := m.Peers[i]
+			if rng.Intn(2) == 0 {
+				h = rs[rng.Intn(len(rs))]
+			}
+			if w.liveCopies(m, i, h) == 0 {
+				continue
+			}
+			w.reshard(core.ShardDelta{Leave: []string{h}})
+		}
+		return
+	}
+}
+
+// forceReshard guarantees the schedule's epoch transition when the random
+// draws produced none.
+func (w *churnWorld) forceReshard() {
+	m := w.topo()
+	for i := 0; i < w.shards; i++ {
+		if rs := replicasOf(m, i); len(rs) > 0 {
+			w.reshard(core.ShardDelta{Move: map[int]string{i: rs[0]}})
+			return
+		}
+	}
+	s := w.standby(m, 0)
+	w.reshard(core.ShardDelta{Join: []string{s}, Move: map[int]string{0: s}})
+}
+
+// churnQuery generates one query over the logical people document: mostly
+// scatter-safe shapes the planner rewrites into per-shard lanes, plus a
+// positional one that exercises the materialized-union fallback — both paths
+// must survive churn.
+const churnQueryPrefix = `doc("` + xmark.LogicalPeopleURI + `")/child::site/child::people/child::person`
+
+func churnQuery(rng *rand.Rand) string {
+	const prefix = churnQueryPrefix
+	age := 18 + rng.Intn(35)
+	switch rng.Intn(6) {
+	case 0:
+		return prefix + `/child::name`
+	case 1:
+		return fmt.Sprintf(`%s[descendant::age < %d]/child::name`, prefix, age)
+	case 2:
+		return fmt.Sprintf(
+			`for $x in %s return if ($x/descendant::age < %d) then $x/child::name else ()`, prefix, age)
+	case 3:
+		return fmt.Sprintf(`count(%s[child::profile/child::age > %d])`, prefix, age)
+	case 4:
+		return fmt.Sprintf(
+			`for $x in %s return element rec { $x/child::name, $x/descendant::age }`, prefix)
+	default:
+		return fmt.Sprintf(`%s[%d]/child::name`, prefix, 1+rng.Intn(6))
+	}
+}
+
+// runSchedule drives one seeded schedule: a live-topology session issues
+// generated queries while topology operations land between them, at least
+// one of them an epoch transition; every result must match the static local
+// reference byte for byte.
+func (w *churnWorld) runSchedule(rng *rand.Rand, schedule int, compiled bool) {
+	w.t.Helper()
+	w.reset()
+	startEpoch := w.n.TopologyEpoch()
+	streamed := schedule%2 == 1
+	pol := &xrpc.RetryPolicy{RouteLive: rng.Intn(2) == 0}
+	sess := w.n.NewSession(w.local, core.ByFragment).
+		UseLiveShards().UseRetry(pol).UseCompile(compiled)
+	if pol.RouteLive {
+		sess.UseHealth(xrpc.NewHealthTracker())
+	}
+	sess.Streamed = streamed
+	const queries = 3
+	for qi := 0; qi < queries; qi++ {
+		if qi > 0 {
+			for o, ops := 0, 1+rng.Intn(2); o < ops; o++ {
+				w.randomOp(rng)
+			}
+			if qi == queries-1 && w.moves == 0 {
+				w.forceReshard()
+			}
+		}
+		src := churnQuery(rng)
+		localRes, err := w.refEng.QueryString(src)
+		if err != nil {
+			w.t.Fatalf("schedule %d query %d local eval: %v\n%s", schedule, qi, err, src)
+		}
+		res, _, err := sess.Query(src)
+		if err != nil {
+			w.t.Fatalf("schedule %d (shards=%d compiled=%v streamed=%v routeLive=%v) query %d: %v\n%s\ntopo: %+v\ndead: %v",
+				schedule, w.shards, compiled, streamed, pol.RouteLive, qi, err, src, w.topo(), w.dead)
+		}
+		if got, want := serializeSeq(w.t, res), serializeSeq(w.t, localRes); got != want {
+			w.t.Fatalf("schedule %d (shards=%d compiled=%v streamed=%v routeLive=%v) query %d diverged\nquery: %s\nlocal: %q\nchurn: %q\ntopo: %+v\ndead: %v",
+				schedule, w.shards, compiled, streamed, pol.RouteLive, qi, src, want, got, w.topo(), w.dead)
+		}
+	}
+	if w.moves == 0 || w.n.TopologyEpoch() <= startEpoch {
+		w.t.Fatalf("schedule %d applied no epoch transition", schedule)
+	}
+}
+
+// TestChurnEquivalence is the headline harness: 35 seeded schedules per
+// layout and execution mode (210 total) on 2/4/8-shard federations, each
+// schedule with at least one epoch transition mid-session, alternating
+// gather-whole/streamed dispatch per schedule and covering tree-walking and
+// compiled execution as separate worlds (the compile switch is per-engine
+// state, fixed before any traffic), every query byte-identical to static
+// local evaluation.
+func TestChurnEquivalence(t *testing.T) {
+	const schedules = 35
+	for _, shards := range []int{2, 4, 8} {
+		for _, compiled := range []bool{false, true} {
+			shards, compiled := shards, compiled
+			t.Run(fmt.Sprintf("%dshards/compiled=%v", shards, compiled), func(t *testing.T) {
+				w := newChurnWorld(t, shards)
+				w.n.SetCompile(compiled)
+				base := int64(1000 * shards)
+				if compiled {
+					base += 500
+				}
+				for s := 0; s < schedules; s++ {
+					w.runSchedule(rand.New(rand.NewSource(base+int64(s))), s, compiled)
+				}
+			})
+		}
+	}
+}

@@ -233,18 +233,86 @@ func TestExhaustedReplicasSessionFault(t *testing.T) {
 	}
 }
 
-// TestConflictingReplicaSetsRejected: two shard maps assigning the same
-// primary different failover sets would route one document's lanes to the
-// other's replicas; the session must refuse to run instead.
-func TestConflictingReplicaSetsRejected(t *testing.T) {
-	n, local, names, m := replicatedFederation(t, 2)
-	m2 := m
-	m2.Logical = "shard://other/doc"
-	m2.Replicas = [][]string{{"rep2"}, {"rep1"}} // swapped failover order
-	sess := n.NewSession(local, core.ByFragment).UseShards(m, m2)
-	_, _, err := sess.Query(xmark.ScatterQuery(names))
-	if err == nil || !strings.Contains(err.Error(), "conflicting replica sets") {
-		t.Fatalf("error = %v, want conflicting-replica-sets rejection", err)
+// TestPerDocumentReplicaRouting: two shard maps sharing primaries but
+// disagreeing on failover sets used to be rejected wholesale ("conflicting
+// replica sets"). Routing is now keyed per (target, logical document), so the
+// session accepts both maps and a killed primary fails over to the replica
+// that holds *that document's* shard — provable here because each replica
+// stores only its own document, so routing one document's lane through the
+// other's replica would fail loudly with a missing-document fault.
+func TestPerDocumentReplicaRouting(t *testing.T) {
+	n := NewNetwork()
+	load := func(p *Peer, path, val string) {
+		t.Helper()
+		if err := p.LoadXML(path, fmt.Sprintf(`<r><v>%s</v></r>`, val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, p2 := n.AddPeer("peer1"), n.AddPeer("peer2")
+	load(p1, "a.xml", "a1")
+	load(p1, "b.xml", "b1")
+	load(p2, "a.xml", "a2")
+	load(p2, "b.xml", "b2")
+	load(n.AddPeer("repA"), "a.xml", "a1") // holds only document A's shard 0
+	load(n.AddPeer("repB"), "b.xml", "b1") // holds only document B's shard 0
+	local := n.AddPeer("local")
+
+	sm := func(logical, path string, replicas [][]string) core.ShardMap {
+		return core.ShardMap{
+			Logical:    logical,
+			Peers:      []string{"peer1", "peer2"},
+			ShardPath:  path,
+			RecordPath: "child::r/child::v",
+			Replicas:   replicas,
+		}
+	}
+	mA := sm("shard://test/a", "a.xml", [][]string{{"repA"}, nil})
+	mB := sm("shard://test/b", "b.xml", [][]string{{"repB"}, nil})
+	query := `(for $x in doc("shard://test/a")/child::r/child::v return $x,
+for $y in doc("shard://test/b")/child::r/child::v return $y)`
+
+	healthy := n.NewSession(local, core.ByFragment).UseShards(mA, mB)
+	res, rep, err := healthy.Query(query)
+	if err != nil {
+		t.Fatalf("healthy run: %v", err)
+	}
+	if got := len(rep.Shards); got != 2 {
+		t.Fatalf("healthy run produced %d shard decisions, want 2", got)
+	}
+	for _, d := range rep.Shards {
+		if !d.Scattered {
+			t.Fatalf("decision for %s not scattered: %q", d.Logical, d.Reason)
+		}
+	}
+	want := serializeSeq(t, res)
+
+	n.KillPeer("peer1")
+	for _, compiled := range []bool{false, true} {
+		n.SetCompile(compiled)
+		for _, streamed := range []bool{false, true} {
+			sess := n.NewSession(local, core.ByFragment).
+				UseShards(mA, mB).UseRetry(&xrpc.RetryPolicy{}).UseCompile(compiled)
+			sess.Streamed = streamed
+			res, rep, err := sess.Query(query)
+			if err != nil {
+				t.Fatalf("compiled=%v streamed=%v, peer1 killed: %v", compiled, streamed, err)
+			}
+			if got := serializeSeq(t, res); got != want {
+				t.Fatalf("compiled=%v streamed=%v: result diverged from healthy run", compiled, streamed)
+			}
+			if rep.Retries < 2 {
+				t.Errorf("compiled=%v streamed=%v: %d retries recorded, want one per document", compiled, streamed, rep.Retries)
+			}
+		}
+	}
+
+	// The merged target-keyed fallback withholds the conflicted primary: a
+	// hand-written loop naming the bare peer has no provably-right failover
+	// order, so it must fail rather than guess a replica.
+	sess := n.NewSession(local, core.ByFragment).UseShards(mA, mB).UseRetry(&xrpc.RetryPolicy{})
+	_, _, err = sess.Query(`for $p in ("peer1", "peer2") return execute at {$p} { doc("a.xml")/child::r/child::v }`)
+	if err == nil {
+		t.Fatal("hand-written loop over the conflicted primary succeeded — which document's replica did it guess?")
 	}
 }
 

@@ -16,6 +16,11 @@ type cachedPlan struct {
 	// prog is the closure-chain lowering of plan.Query, compiled eagerly at
 	// plan time when the service runs compiled; nil otherwise.
 	prog *eval.Program
+	// epoch is the shard-map epoch the plan was decomposed under (also
+	// embedded in the key). Inserting an entry of a newer epoch evicts every
+	// entry below it: superseded-epoch plans can never match again, so they
+	// would only displace live entries while aging out.
+	epoch int64
 }
 
 // planCache is a bounded insert-order cache of decomposed plans (and their
@@ -46,6 +51,19 @@ func (c *planCache) get(key string) (cachedPlan, bool) {
 func (c *planCache) put(key string, p cachedPlan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Evict superseded epochs first: a topology change strands every entry
+	// planned under an older epoch (the key embeds the epoch, so they can
+	// never be hit again) — drop them now instead of letting dead plans
+	// crowd live ones out of the bounded cache.
+	for i := 0; i < len(c.order); {
+		k := c.order[i]
+		if c.entries[k].epoch < p.epoch {
+			delete(c.entries, k)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			continue
+		}
+		i++
+	}
 	if _, ok := c.entries[key]; ok {
 		c.entries[key] = p
 		return

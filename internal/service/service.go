@@ -141,6 +141,9 @@ type Service struct {
 	mu     sync.Mutex
 	shards []core.ShardMap
 	epoch  int64
+	// live plans every query against the network's live shard topology
+	// instead of the frozen shards list (see UseLiveShards).
+	live bool
 
 	queued atomic.Int64
 	plans  *planCache
@@ -180,6 +183,20 @@ func (s *Service) UseShards(maps ...core.ShardMap) *Service {
 	s.mu.Lock()
 	s.shards = append(s.shards, maps...)
 	s.epoch++
+	s.mu.Unlock()
+	return s
+}
+
+// UseLiveShards makes the service plan every query against the network's
+// live shard topology (Network.UpdateShards/Reshard) instead of a frozen
+// UseShards list: each query snapshots the current epoch at plan time and
+// executes entirely on that snapshot, the plan-cache key takes the
+// federation topology epoch (so a reshard re-plans on the next query and
+// evicts superseded-epoch entries), and lanes re-route to the newest layout
+// when their plan-time primary departs mid-query.
+func (s *Service) UseLiveShards() *Service {
+	s.mu.Lock()
+	s.live = true
 	s.mu.Unlock()
 	return s
 }
@@ -238,7 +255,14 @@ func (s *Service) plan(src string, sp trace.SpanRef) (*core.Plan, []core.ShardMa
 	s.mu.Lock()
 	shards := s.shards
 	epoch := s.epoch
+	live := s.live
 	s.mu.Unlock()
+	if live {
+		// Live mode: the federation topology epoch keys the cache, and the
+		// query pins this snapshot for its whole execution however the
+		// network reshards meanwhile.
+		shards, epoch = s.net.ShardTopology()
+	}
 	key := fmt.Sprintf("%d|%d|%s", epoch, s.strategy, xq.PrintQuery(q))
 	if p, ok := s.plans.get(key); ok {
 		s.planHits.Add(1)
@@ -259,7 +283,7 @@ func (s *Service) plan(src string, sp trace.SpanRef) (*core.Plan, []core.ShardMa
 	if err := xq.Normalize(plan.Query); err != nil {
 		return nil, nil, err
 	}
-	entry := cachedPlan{plan: plan}
+	entry := cachedPlan{plan: plan, epoch: epoch}
 	if s.cfg.Compile {
 		// Compile before publication: the artifact pins to the plan's query
 		// object, so every execution of this cache entry — including

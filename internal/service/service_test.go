@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"distxq/internal/core"
-	"distxq/internal/eval"
 	"distxq/internal/peer"
 	"distxq/internal/xdm"
 	"distxq/internal/xrpc"
@@ -243,19 +242,93 @@ func TestCompiledPlanNotStaleAcrossShardEpochs(t *testing.T) {
 		t.Fatalf("epoch 2 misses=%d hits=%d, want 2/0 (epoch key must miss)", st.PlanMisses, st.PlanHits)
 	}
 
-	// Both epochs' entries live side by side, each with its own compiled
-	// artifact — the epoch key separates them, re-compilation is real.
+	// The new epoch's entry carries its own compiled artifact, and caching it
+	// evicted the superseded epoch's entry: a stale-epoch plan can never be
+	// hit again (the key embeds the epoch), so it must not squat in the
+	// bounded cache.
 	s.plans.mu.Lock()
-	progs := map[*eval.Program]bool{}
 	for _, e := range s.plans.entries {
 		if e.prog == nil {
 			t.Error("cached plan without compiled artifact under Config.Compile")
 		}
-		progs[e.prog] = true
+		if e.epoch != 2 {
+			t.Errorf("cached entry of epoch %d survived epoch 2", e.epoch)
+		}
 	}
 	count := len(s.plans.entries)
 	s.plans.mu.Unlock()
-	if count != 2 || len(progs) != 2 {
-		t.Fatalf("cache holds %d entries with %d distinct programs, want 2/2", count, len(progs))
+	if count != 1 {
+		t.Fatalf("cache holds %d entries, want 1 (superseded epoch evicted)", count)
+	}
+}
+
+// TestLiveEpochRePlanAndReroute extends the stale-plan proof to the live
+// topology: under UseLiveShards the service keys its plan cache on
+// Network.TopologyEpoch, so a Reshard applied directly to the network — no
+// UseShards call, no service involvement at all — forces a re-plan, and the
+// next query follows the shards to their new homes even though every old
+// host is dead.
+func TestLiveEpochRePlanAndReroute(t *testing.T) {
+	n := peer.NewNetwork()
+	for i := 1; i <= 4; i++ {
+		doc := fmt.Sprintf(`<r><v>a%d</v></r>`, i)
+		if err := n.AddPeer(fmt.Sprintf("peer%d", i)).LoadXML("d.xml", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	origin := n.AddPeer("local")
+	if _, err := n.UpdateShards(core.ShardMap{
+		Logical:    "shard://test/d",
+		Peers:      []string{"peer1", "peer2"},
+		ShardPath:  "d.xml",
+		RecordPath: "child::r/child::v",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(n, origin, core.ByFragment, Config{Compile: true}).UseLiveShards()
+	query := `for $x in doc("shard://test/d")/child::r/child::v return $x`
+	values := func(res xdm.Sequence) string {
+		out := ""
+		for i, it := range res {
+			if i > 0 {
+				out += " "
+			}
+			out += it.ItemString()
+		}
+		return out
+	}
+
+	res, _, err := s.Query(query, core.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := values(res); got != "a1 a2" {
+		t.Fatalf("initial result %q, want \"a1 a2\"", got)
+	}
+
+	// Re-home both shards via a delta on the network: peer3/peer4 join and
+	// take over, peer1/peer2 leave and die.
+	if _, err := n.Reshard("shard://test/d", core.ShardDelta{
+		Join:  []string{"peer3", "peer4"},
+		Move:  map[int]string{0: "peer3", 1: "peer4"},
+		Leave: []string{"peer1", "peer2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.KillPeer("peer1")
+	n.KillPeer("peer2")
+
+	res, rep, err := s.Query(query, core.Budget{})
+	if err != nil {
+		t.Fatalf("post-reshard query failed (stale plan routed to a dead peer?): %v", err)
+	}
+	if got := values(res); got != "a3 a4" {
+		t.Fatalf("post-reshard result %q, want \"a3 a4\"", got)
+	}
+	if len(rep.Shards) == 0 || !rep.Shards[0].Scattered {
+		t.Fatalf("post-reshard plan did not scatter: %+v", rep.Shards)
+	}
+	if st := s.Stats(); st.PlanMisses != 2 || st.PlanHits != 0 {
+		t.Fatalf("misses=%d hits=%d, want 2/0 (live epoch must miss)", st.PlanMisses, st.PlanHits)
 	}
 }

@@ -298,9 +298,33 @@ func (h *HealthTracker) Rank(targets []string, seq uint64) []string {
 	if len(targets) <= 1 {
 		return targets
 	}
+	_, bad := h.classify(targets)
+	var healthy, unhealthy []string
+	for i, t := range targets {
+		if bad[i] {
+			unhealthy = append(unhealthy, t)
+		} else {
+			healthy = append(healthy, t)
+		}
+	}
+	if len(healthy) == 0 {
+		healthy, unhealthy = unhealthy, nil
+	}
+	off := int(seq % uint64(len(healthy)))
+	out := make([]string, 0, len(targets))
+	out = append(out, healthy[off:]...)
+	out = append(out, healthy[:off]...)
+	out = append(out, unhealthy...)
+	return out
+}
+
+// classify snapshots each target's dispatch-relevant state: its EWMA (-1
+// when unknown or stale) and whether it counts unhealthy — a fault streak,
+// or an EWMA beyond healthSlowFactor of the best target's.
+func (h *HealthTracker) classify(targets []string) (ewma []float64, unhealthy []bool) {
 	h.mu.Lock()
 	best := 0.0
-	ewma := make([]float64, len(targets))
+	ewma = make([]float64, len(targets))
 	faulty := make([]bool, len(targets))
 	stale := h.staleAfter()
 	for i, t := range targets {
@@ -318,22 +342,53 @@ func (h *HealthTracker) Rank(targets []string, seq uint64) []string {
 		}
 	}
 	h.mu.Unlock()
-	var healthy, unhealthy []string
-	for i, t := range targets {
+	unhealthy = make([]bool, len(targets))
+	for i := range targets {
 		slow := ewma[i] > 0 && best > 0 && ewma[i] > healthSlowFactor*best
-		if faulty[i] || slow {
-			unhealthy = append(unhealthy, t)
-		} else {
-			healthy = append(healthy, t)
+		unhealthy[i] = faulty[i] || slow
+	}
+	return ewma, unhealthy
+}
+
+// RankLive orders a lane's target rotation by live health, fastest copy
+// first: healthy targets with a known EWMA in ascending-latency order, then
+// healthy-but-unmeasured targets in canonical failover order (they deserve
+// traffic to get measured), then targets with a fault streak or a slow EWMA,
+// again in canonical order. Unlike Rank there is no per-lane rotation —
+// every lane's first attempt goes to the live, fastest copy, which is what
+// re-route (as opposed to fail-over) semantics want: a departed or degraded
+// primary stops receiving first attempts the moment the tracker has seen it
+// fault, instead of every lane burning an attempt against the corpse. A nil
+// tracker returns targets unchanged.
+func (h *HealthTracker) RankLive(targets []string) []string {
+	if h == nil || len(targets) <= 1 {
+		return targets
+	}
+	ewma, unhealthy := h.classify(targets)
+	idx := make([]int, len(targets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if unhealthy[ia] != unhealthy[ib] {
+			return !unhealthy[ia]
 		}
+		if unhealthy[ia] {
+			return false // canonical order among the unhealthy
+		}
+		knownA, knownB := ewma[ia] >= 0, ewma[ib] >= 0
+		if knownA != knownB {
+			return knownA
+		}
+		if knownA {
+			return ewma[ia] < ewma[ib]
+		}
+		return false // canonical order among the unmeasured
+	})
+	out := make([]string, len(targets))
+	for i, j := range idx {
+		out[i] = targets[j]
 	}
-	if len(healthy) == 0 {
-		healthy, unhealthy = unhealthy, nil
-	}
-	off := int(seq % uint64(len(healthy)))
-	out := make([]string, 0, len(targets))
-	out = append(out, healthy[off:]...)
-	out = append(out, healthy[:off]...)
-	out = append(out, unhealthy...)
 	return out
 }

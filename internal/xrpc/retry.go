@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"distxq/internal/eval"
@@ -55,10 +56,23 @@ type RetryPolicy struct {
 	// byte-identical shards, so results are unchanged. Off by default: the
 	// primary-first baseline keeps single-session runs reproducible.
 	SpreadReplicas bool
+	// RouteLive consults the Client's HealthTracker at dispatch time and
+	// sends every lane to the live, fastest copy up front: targets order by
+	// observed EWMA with fault-streaked peers demoted to the back (see
+	// HealthTracker.RankLive), so a dead or degraded primary stops receiving
+	// first attempts as soon as the tracker has seen it fail, instead of
+	// every lane burning an attempt (and a hedge window) against it. This is
+	// re-route rather than fail-over; replicas hold byte-identical shards, so
+	// results are unchanged. Takes precedence over SpreadReplicas; without a
+	// tracker it falls back to the primary-first rotation.
+	RouteLive bool
 }
 
 // spread reports whether initial lane targets rotate across replicas.
 func (p *RetryPolicy) spread() bool { return p != nil && p.SpreadReplicas }
+
+// routeLive reports whether lanes route to the fastest live copy up front.
+func (p *RetryPolicy) routeLive() bool { return p != nil && p.RouteLive }
 
 // maxAttempts resolves the attempt budget of a lane with the given number
 // of replicas. A nil policy still fails over across replicas once each —
@@ -100,7 +114,13 @@ func laneTargets(batch eval.ScatterBatch) []string {
 // — while each individual lane's order stays deterministic.
 func (c *Client) dispatchTargets(batch eval.ScatterBatch) []string {
 	targets := laneTargets(batch)
-	if len(targets) <= 1 || !c.Retry.spread() {
+	if len(targets) <= 1 {
+		return targets
+	}
+	if c.Retry.routeLive() && c.Health != nil {
+		return c.Health.RankLive(targets)
+	}
+	if !c.Retry.spread() {
 		return targets
 	}
 	seq := c.laneSeq.Add(1) - 1
@@ -114,14 +134,52 @@ func (c *Client) dispatchTargets(batch eval.ScatterBatch) []string {
 }
 
 // replicaIndex maps a winning peer back to its index in the lane's
-// canonical (primary-first) target list.
+// canonical (primary-first) target list. A peer beyond the list — a target
+// epoch-aware re-dispatch pulled in from a newer shard layout — maps just
+// past it, so "Replica > 0" still always means "not the plan-time primary".
 func replicaIndex(batch eval.ScatterBatch, peer string) int {
-	for i, t := range laneTargets(batch) {
+	targets := laneTargets(batch)
+	for i, t := range targets {
 		if t == peer {
 			return i
 		}
 	}
-	return 0
+	return len(targets)
+}
+
+// reroutedTargets consults the client's Reroute hook after a genuine fault:
+// when the live topology has moved past the lane's plan epoch, the fresh
+// rotation's unseen peers (typically the shard's new primary) are appended
+// to the lane's rotation so the remaining — and extended — attempts reach
+// the shard's current home instead of exhausting retries against a corpse.
+// last carries the fresh rotation of the lane's previous consult: when the
+// rotation changed again but names only already-known peers (a primary and
+// replica swapped roles, or a downed copy came back), the whole fresh
+// rotation is appended verbatim, buying the lane one re-wrap through peers
+// whose earlier attempts predate the change. An unchanged rotation adds
+// nothing, so extensions are bounded by actual topology transitions. It
+// returns the extended rotation and how many attempts were added.
+func (c *Client) reroutedTargets(batch eval.ScatterBatch, targets []string, last *[]string) ([]string, int) {
+	if c.Reroute == nil {
+		return targets, 0
+	}
+	fresh := c.Reroute(batch.Target)
+	if len(fresh) == 0 || slices.Equal(fresh, *last) {
+		return targets, 0
+	}
+	*last = slices.Clone(fresh)
+	added := 0
+	for _, t := range fresh {
+		if !slices.Contains(targets, t) {
+			targets = append(targets, t)
+			added++
+		}
+	}
+	if added == 0 {
+		targets = append(targets, fresh...)
+		added = len(fresh)
+	}
+	return targets, added
 }
 
 // firstFault tracks the error the lane reports when every attempt failed:
@@ -199,7 +257,10 @@ func attemptKind(first, hedge bool) string {
 func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.ScatterBatch, lsp trace.SpanRef) ([]xdm.Sequence, Lane, error) {
 	start := time.Now()
 	max := c.Retry.maxAttempts(len(batch.Replicas))
-	if max <= 1 {
+	// A client with a Reroute hook takes the full event loop even for
+	// single-attempt lanes: a fault may pull the shard's new home into the
+	// rotation, turning what would be a dead lane into a re-dispatch.
+	if max <= 1 && c.Reroute == nil {
 		asp := lsp.Child("attempt", trace.Str("peer", batch.Target), trace.Str("kind", "primary"))
 		results, lane, err := c.callBulkCtx(ctx, batch.Target, x, batch.Iterations, asp)
 		asp.EndErr(err)
@@ -230,7 +291,11 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 				retries++
 			}
 		}
-		peer := targets[a%len(targets)]
+		// Resolve peer and rotation slot here on the event loop: the rotation
+		// may grow under epoch-aware re-dispatch, and the attempt goroutine
+		// must not touch the shared slice.
+		rot := a % len(targets)
+		peer := targets[rot]
 		// The attempt goroutine owns its span end-to-end: it may outlive the
 		// lane (a cancelled loser over a synchronous transport runs to
 		// completion), so nobody else may End it — the winner tag lands
@@ -244,7 +309,7 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 			results, lane, err := c.callBulkCtx(lctx, peer, x, batch.Iterations, asp)
 			asp.EndErr(err)
 			outcomes <- attemptOutcome{
-				attempt: a, replica: a % len(targets), peer: peer,
+				attempt: a, replica: rot, peer: peer,
 				results: results, lane: lane, err: err,
 				wallNS: time.Since(t0).Nanoseconds(), sp: asp,
 			}
@@ -297,6 +362,7 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 
 	fault := &firstFault{}
 	loserWall := map[int]int64{}
+	var lastFresh []string
 	var winner *attemptOutcome
 	launch(false)
 	armHedge()
@@ -314,6 +380,14 @@ func (c *Client) callLane(ctx context.Context, x *xq.XRPCExpr, batch eval.Scatte
 			// budget that is already spent, so the lane stops failing over
 			// instead of burning attempts on work the originator will discard.
 			if !isDeadline(o.err) {
+				// Epoch-aware re-dispatch: a genuine fault re-consults the live
+				// topology — if the shard has moved since this plan's epoch, the
+				// new rotation's unseen peers join the lane's rotation and buy
+				// the attempts to reach them.
+				var added int
+				if targets, added = c.reroutedTargets(batch, targets, &lastFresh); added > 0 {
+					max += added
+				}
 				scheduleRetry()
 			}
 		case <-retryC:

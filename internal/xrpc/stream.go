@@ -867,7 +867,10 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 	start := time.Now()
 	forward := func(chunk eval.StreamChunk) bool { return sendChunk(ctx, ch, chunk) }
 	max := c.Retry.maxAttempts(len(batch.Replicas))
-	if max <= 1 {
+	// As in callLane: a Reroute hook routes even single-attempt lanes
+	// through the retry loop, so a fault can re-dispatch to the shard's new
+	// home under a newer topology epoch.
+	if max <= 1 && c.Reroute == nil {
 		asp := lsp.Child("attempt", trace.Str("peer", batch.Target), trace.Str("kind", "primary"))
 		lane, err := c.streamLane(ctx, batch.Target, x, batch.Iterations, forward, nil, asp)
 		asp.EndErr(err)
@@ -881,6 +884,7 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 	targets := c.dispatchTargets(batch)
 	progress := &laneProgress{}
 	fault := &firstFault{}
+	var lastFresh []string
 	retries, hedges := 0, 0
 	var wasted int64
 	stalled := false
@@ -1003,6 +1007,13 @@ func (c *StreamedClient) runStreamLane(ctx context.Context, x *xq.XRPCExpr, batc
 		acancel()
 		if terminal {
 			break
+		}
+		// Epoch-aware re-dispatch, as in callLane: a genuine fault re-consults
+		// the live topology and extends the rotation (and attempt budget) with
+		// the shard's new home under a newer epoch.
+		var added int
+		if targets, added = c.reroutedTargets(batch, targets, &lastFresh); added > 0 {
+			max += added
 		}
 	}
 	return Lane{}, budgetFailure(ctx, fault.error(), batch.Target, start)
